@@ -1,0 +1,48 @@
+//! Adjoint vs parameter-shift gradient cost — the ablation justifying the
+//! adjoint engine as the training path (parameter-shift re-executes the
+//! circuit twice per parameter; adjoint is one backward sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqvae_quantum::grad::{adjoint, paramshift};
+use sqvae_quantum::templates::{strongly_entangling_layers, EntangleRange};
+use sqvae_quantum::Circuit;
+
+fn circuit(n_qubits: usize, layers: usize) -> (Circuit, Vec<f64>, Vec<f64>) {
+    let mut c = Circuit::new(n_qubits).expect("valid register");
+    c.extend(strongly_entangling_layers(n_qubits, layers, 0, EntangleRange::Ring).unwrap())
+        .unwrap();
+    let params: Vec<f64> = (0..c.n_params()).map(|i| 0.1 + 0.01 * i as f64).collect();
+    let upstream = vec![1.0; n_qubits];
+    (c, params, upstream)
+}
+
+fn bench_adjoint_vs_paramshift(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gradient_engines");
+    for layers in [1usize, 3, 5] {
+        let (circ, params, upstream) = circuit(6, layers);
+        group.bench_with_input(
+            BenchmarkId::new("adjoint", layers),
+            &layers,
+            |b, _| {
+                b.iter(|| {
+                    adjoint::backward_expectations_z(&circ, &params, &[], None, &upstream)
+                        .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("paramshift", layers),
+            &layers,
+            |b, _| {
+                b.iter(|| {
+                    paramshift::vjp_expectations_z(&circ, &params, &[], None, &upstream)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adjoint_vs_paramshift);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Train-step throughput per model family (one forward+backward+step over a
+//! small batch) — the cost model behind the experiment harness's quick/full
+//! scales.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sqvae_core::{models, Autoencoder, TrainConfig, Trainer};
+use sqvae_datasets::Dataset;
+
+fn toy_dataset(n: usize, width: usize) -> Dataset {
+    Dataset::from_samples(
+        (0..n)
+            .map(|i| (0..width).map(|j| ((i + j) % 5) as f64).collect())
+            .collect(),
+    )
+    .expect("non-empty")
+}
+
+fn one_epoch(model: &mut Autoencoder, data: &Dataset) {
+    let mut trainer = Trainer::new(TrainConfig {
+        epochs: 1,
+        batch_size: 8,
+        ..TrainConfig::default()
+    });
+    trainer.train(model, data, None).expect("training succeeds");
+}
+
+fn bench_training_steps(c: &mut Criterion) {
+    let small = toy_dataset(16, 64);
+    let large = toy_dataset(8, 1024);
+
+    c.bench_function("epoch_classical_ae_64d", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = models::classical_ae(64, 6, &mut rng);
+        b.iter(|| one_epoch(&mut model, &small))
+    });
+
+    c.bench_function("epoch_h_bq_ae_64d", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = models::h_bq_ae(64, 3, &mut rng);
+        b.iter(|| one_epoch(&mut model, &small))
+    });
+
+    c.bench_function("epoch_sq_ae_1024d_p8", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = models::sq_ae(1024, 8, 2, &mut rng);
+        b.iter(|| one_epoch(&mut model, &large))
+    });
+
+    c.bench_function("epoch_sq_vae_1024d_p16", |b| {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = models::sq_vae(1024, 16, 2, &mut rng);
+        b.iter(|| one_epoch(&mut model, &large))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_training_steps
+}
+criterion_main!(benches);

@@ -1,0 +1,198 @@
+//! Chemical elements used by the paper's molecule matrices.
+//!
+//! QM9 molecules use C/N/O (diagonal codes 1–3, Fig. 3 of the paper);
+//! PDBbind ligands additionally use F and S (codes 4–5, §IV-A). Hydrogens
+//! are implicit, as in the paper ("only heavy atoms excluding Hydrogen are
+//! displayed in the matrix").
+
+use std::fmt;
+
+/// A heavy-atom element from the paper's encoding tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Element {
+    /// Carbon (matrix code 1).
+    C,
+    /// Nitrogen (matrix code 2).
+    N,
+    /// Oxygen (matrix code 3).
+    O,
+    /// Fluorine (matrix code 4, PDBbind only).
+    F,
+    /// Sulfur (matrix code 5, PDBbind only).
+    S,
+}
+
+impl Element {
+    /// All supported elements in matrix-code order.
+    pub const ALL: [Element; 5] = [Element::C, Element::N, Element::O, Element::F, Element::S];
+
+    /// The diagonal matrix code (1-C, 2-N, 3-O, 4-F, 5-S).
+    pub fn matrix_code(self) -> u8 {
+        match self {
+            Element::C => 1,
+            Element::N => 2,
+            Element::O => 3,
+            Element::F => 4,
+            Element::S => 5,
+        }
+    }
+
+    /// Decodes a diagonal matrix code; `None` for 0 (no atom) or unknown
+    /// codes.
+    pub fn from_matrix_code(code: u8) -> Option<Element> {
+        match code {
+            1 => Some(Element::C),
+            2 => Some(Element::N),
+            3 => Some(Element::O),
+            4 => Some(Element::F),
+            5 => Some(Element::S),
+            _ => None,
+        }
+    }
+
+    /// Atomic number.
+    pub fn atomic_number(self) -> u8 {
+        match self {
+            Element::C => 6,
+            Element::N => 7,
+            Element::O => 8,
+            Element::F => 9,
+            Element::S => 16,
+        }
+    }
+
+    /// Standard atomic weight (g/mol).
+    pub fn atomic_weight(self) -> f64 {
+        match self {
+            Element::C => 12.011,
+            Element::N => 14.007,
+            Element::O => 15.999,
+            Element::F => 18.998,
+            Element::S => 32.06,
+        }
+    }
+
+    /// The default (lowest common) valence used for implicit-hydrogen
+    /// counting, matching RDKit's default valence model for these elements.
+    pub fn default_valence(self) -> u8 {
+        match self {
+            Element::C => 4,
+            Element::N => 3,
+            Element::O => 2,
+            Element::F => 1,
+            Element::S => 2,
+        }
+    }
+
+    /// Valences accepted by the validity checker (hypervalent sulfur allows
+    /// 2, 4, and 6).
+    pub fn allowed_valences(self) -> &'static [u8] {
+        match self {
+            Element::C => &[4],
+            Element::N => &[3],
+            Element::O => &[2],
+            Element::F => &[1],
+            Element::S => &[2, 4, 6],
+        }
+    }
+
+    /// Maximum accepted valence.
+    pub fn max_valence(self) -> u8 {
+        *self.allowed_valences().last().expect("non-empty")
+    }
+
+    /// Pauling electronegativity (used by the synthetic-accessibility
+    /// heuristics).
+    pub fn electronegativity(self) -> f64 {
+        match self {
+            Element::C => 2.55,
+            Element::N => 3.04,
+            Element::O => 3.44,
+            Element::F => 3.98,
+            Element::S => 2.58,
+        }
+    }
+
+    /// Whether this element is a hydrogen-bond acceptor candidate (N, O).
+    pub fn is_hetero_acceptor(self) -> bool {
+        matches!(self, Element::N | Element::O)
+    }
+
+    /// The element symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Element::C => "C",
+            Element::N => "N",
+            Element::O => "O",
+            Element::F => "F",
+            Element::S => "S",
+        }
+    }
+
+    /// Parses an element symbol (case sensitive).
+    pub fn from_symbol(s: &str) -> Option<Element> {
+        match s {
+            "C" => Some(Element::C),
+            "N" => Some(Element::N),
+            "O" => Some(Element::O),
+            "F" => Some(Element::F),
+            "S" => Some(Element::S),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_codes_round_trip() {
+        for e in Element::ALL {
+            assert_eq!(Element::from_matrix_code(e.matrix_code()), Some(e));
+        }
+        assert_eq!(Element::from_matrix_code(0), None);
+        assert_eq!(Element::from_matrix_code(6), None);
+    }
+
+    #[test]
+    fn paper_code_table() {
+        // Fig. 3 / §IV-A: 1-C, 2-N, 3-O, 4-F, 5-S.
+        assert_eq!(Element::C.matrix_code(), 1);
+        assert_eq!(Element::N.matrix_code(), 2);
+        assert_eq!(Element::O.matrix_code(), 3);
+        assert_eq!(Element::F.matrix_code(), 4);
+        assert_eq!(Element::S.matrix_code(), 5);
+    }
+
+    #[test]
+    fn valences() {
+        assert_eq!(Element::C.default_valence(), 4);
+        assert_eq!(Element::N.default_valence(), 3);
+        assert_eq!(Element::O.default_valence(), 2);
+        assert_eq!(Element::F.default_valence(), 1);
+        assert_eq!(Element::S.max_valence(), 6);
+        assert!(Element::S.allowed_valences().contains(&4));
+    }
+
+    #[test]
+    fn symbols_round_trip() {
+        for e in Element::ALL {
+            assert_eq!(Element::from_symbol(e.symbol()), Some(e));
+            assert_eq!(e.to_string(), e.symbol());
+        }
+        assert_eq!(Element::from_symbol("Xx"), None);
+    }
+
+    #[test]
+    fn weights_are_ordered_reasonably() {
+        assert!(Element::C.atomic_weight() < Element::N.atomic_weight());
+        assert!(Element::F.atomic_weight() < Element::S.atomic_weight());
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type for the cheminformatics substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or decoding molecules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChemError {
+    /// An atom index was out of range.
+    AtomOutOfRange {
+        /// Offending index.
+        index: usize,
+        /// Number of atoms.
+        n_atoms: usize,
+    },
+    /// A bond between an atom and itself was requested.
+    SelfBond {
+        /// The duplicated atom index.
+        index: usize,
+    },
+    /// A bond between the pair already exists.
+    DuplicateBond {
+        /// First endpoint.
+        a: usize,
+        /// Second endpoint.
+        b: usize,
+    },
+    /// A matrix had a non-square or zero size.
+    BadMatrixShape {
+        /// Number of raw values provided.
+        len: usize,
+    },
+    /// The molecule does not fit in the requested matrix size.
+    MoleculeTooLarge {
+        /// Heavy atoms present.
+        atoms: usize,
+        /// Matrix size.
+        size: usize,
+    },
+    /// SMILES parsing failed.
+    ParseSmiles {
+        /// Byte offset of the failure.
+        position: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// The molecule is empty where a non-empty one was required.
+    EmptyMolecule,
+}
+
+impl fmt::Display for ChemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChemError::AtomOutOfRange { index, n_atoms } => {
+                write!(f, "atom index {index} out of range for {n_atoms} atoms")
+            }
+            ChemError::SelfBond { index } => {
+                write!(f, "cannot bond atom {index} to itself")
+            }
+            ChemError::DuplicateBond { a, b } => {
+                write!(f, "bond between atoms {a} and {b} already exists")
+            }
+            ChemError::BadMatrixShape { len } => {
+                write!(f, "molecule matrix must be square and non-empty, got {len} values")
+            }
+            ChemError::MoleculeTooLarge { atoms, size } => {
+                write!(f, "molecule with {atoms} atoms does not fit a {size}x{size} matrix")
+            }
+            ChemError::ParseSmiles { position, message } => {
+                write!(f, "invalid smiles at byte {position}: {message}")
+            }
+            ChemError::EmptyMolecule => write!(f, "molecule has no atoms"),
+        }
+    }
+}
+
+impl Error for ChemError {}
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, ChemError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ChemError::EmptyMolecule.to_string().contains("no atoms"));
+        let e = ChemError::ParseSmiles {
+            position: 3,
+            message: "unexpected ')'".into(),
+        };
+        assert!(e.to_string().contains("byte 3"));
+    }
+}

@@ -1,0 +1,305 @@
+//! The molecule-matrix codec (Fig. 3 of the paper).
+//!
+//! A molecule with up to `size` heavy atoms becomes a symmetric
+//! `size × size` matrix: diagonal entries encode atom types (1-C, 2-N, 3-O,
+//! 4-F, 5-S; 0 = no atom) and off-diagonal entries encode bond types
+//! (0-NONE, 1-SINGLE, 2-DOUBLE, 3-TRIPLE, 4-AROMATIC). This is the feature
+//! representation every autoencoder in the reproduction trains on, and
+//! decoding (with rounding) is how sampled feature vectors become molecules
+//! again.
+
+use crate::bond::BondOrder;
+use crate::element::Element;
+use crate::error::{ChemError, Result};
+use crate::molecule::Molecule;
+
+/// A square, real-valued molecule matrix.
+///
+/// Values are stored as `f64` because model outputs are continuous; decoding
+/// rounds to the nearest valid code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MoleculeMatrix {
+    size: usize,
+    data: Vec<f64>,
+}
+
+impl MoleculeMatrix {
+    /// An all-zero matrix (no atoms).
+    pub fn zeros(size: usize) -> Self {
+        MoleculeMatrix {
+            size,
+            data: vec![0.0; size * size],
+        }
+    }
+
+    /// Wraps a row-major value buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChemError::BadMatrixShape`] when `data.len() != size²` or
+    /// `size == 0`.
+    pub fn from_values(size: usize, data: Vec<f64>) -> Result<Self> {
+        if size == 0 || data.len() != size * size {
+            return Err(ChemError::BadMatrixShape { len: data.len() });
+        }
+        Ok(MoleculeMatrix { size, data })
+    }
+
+    /// Encodes a molecule into a `size × size` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChemError::MoleculeTooLarge`] when the molecule has more
+    /// than `size` heavy atoms, or [`ChemError::BadMatrixShape`] for size 0.
+    pub fn encode(mol: &Molecule, size: usize) -> Result<Self> {
+        if size == 0 {
+            return Err(ChemError::BadMatrixShape { len: 0 });
+        }
+        if mol.n_atoms() > size {
+            return Err(ChemError::MoleculeTooLarge {
+                atoms: mol.n_atoms(),
+                size,
+            });
+        }
+        let mut m = MoleculeMatrix::zeros(size);
+        for (i, &e) in mol.atoms().iter().enumerate() {
+            m.set(i, i, e.matrix_code() as f64);
+        }
+        for b in mol.bonds() {
+            let code = b.order.matrix_code() as f64;
+            m.set(b.a, b.b, code);
+            m.set(b.b, b.a, code);
+        }
+        Ok(m)
+    }
+
+    /// Decodes the matrix back into a molecular graph.
+    ///
+    /// Robust to continuous model outputs: every entry is rounded to the
+    /// nearest integer code and clamped into the valid range; the
+    /// off-diagonal is symmetrized by averaging before rounding. Bonds whose
+    /// endpoints decode to "no atom" are dropped. The result is *not*
+    /// sanitized — see [`crate::sanitize`].
+    pub fn decode(&self) -> Molecule {
+        let n = self.size;
+        // Diagonal → atoms (with index remapping to skip empty slots).
+        let mut remap = vec![usize::MAX; n];
+        let mut mol = Molecule::new();
+        for i in 0..n {
+            let code = round_clamp(self.get(i, i), 5);
+            if let Some(e) = Element::from_matrix_code(code) {
+                remap[i] = mol.add_atom(e);
+            }
+        }
+        // Off-diagonal → bonds.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if remap[i] == usize::MAX || remap[j] == usize::MAX {
+                    continue;
+                }
+                let avg = (self.get(i, j) + self.get(j, i)) / 2.0;
+                let code = round_clamp(avg, 4);
+                if let Some(order) = BondOrder::from_matrix_code(code) {
+                    // Duplicate bonds are impossible here (each pair visited
+                    // once), so this cannot fail.
+                    let _ = mol.add_bond(remap[i], remap[j], order);
+                }
+            }
+        }
+        mol
+    }
+
+    /// Matrix size (rows == cols).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Flat row-major view — the feature vector fed to the autoencoders.
+    pub fn as_features(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Consumes the matrix into its feature vector.
+    pub fn into_features(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.size && c < self.size, "matrix index out of bounds");
+        self.data[r * self.size + c]
+    }
+
+    /// Element setter.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.size && c < self.size, "matrix index out of bounds");
+        self.data[r * self.size + c] = v;
+    }
+
+    /// L1 norm of the feature vector (used for the paper's normalized
+    /// experiments, Fig. 4(b)).
+    pub fn l1_norm(&self) -> f64 {
+        self.data.iter().map(|x| x.abs()).sum()
+    }
+
+    /// The matrix divided by its L1 norm ("directly dividing each
+    /// non-negative feature value by their sum", §III-B). Returns an
+    /// unmodified copy when the norm is zero.
+    pub fn l1_normalized(&self) -> MoleculeMatrix {
+        let norm = self.l1_norm();
+        if norm == 0.0 {
+            return self.clone();
+        }
+        MoleculeMatrix {
+            size: self.size,
+            data: self.data.iter().map(|x| x / norm).collect(),
+        }
+    }
+}
+
+fn round_clamp(v: f64, max_code: u8) -> u8 {
+    let r = v.round();
+    if r < 0.0 {
+        0
+    } else if r > max_code as f64 {
+        max_code
+    } else {
+        r as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ethanol() -> Molecule {
+        let mut m = Molecule::new();
+        let c1 = m.add_atom(Element::C);
+        let c2 = m.add_atom(Element::C);
+        let o = m.add_atom(Element::O);
+        m.add_bond(c1, c2, BondOrder::Single).unwrap();
+        m.add_bond(c2, o, BondOrder::Single).unwrap();
+        m
+    }
+
+    #[test]
+    fn encode_places_codes() {
+        let m = MoleculeMatrix::encode(&ethanol(), 4).unwrap();
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 1), 1.0);
+        assert_eq!(m.get(2, 2), 3.0);
+        assert_eq!(m.get(3, 3), 0.0);
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(1, 0), 1.0);
+        assert_eq!(m.get(1, 2), 1.0);
+        assert_eq!(m.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn encode_rejects_oversized() {
+        assert!(matches!(
+            MoleculeMatrix::encode(&ethanol(), 2),
+            Err(ChemError::MoleculeTooLarge { atoms: 3, size: 2 })
+        ));
+        assert!(MoleculeMatrix::encode(&ethanol(), 0).is_err());
+    }
+
+    #[test]
+    fn exact_round_trip() {
+        let mol = ethanol();
+        let m = MoleculeMatrix::encode(&mol, 8).unwrap();
+        let back = m.decode();
+        assert_eq!(back.n_atoms(), 3);
+        assert_eq!(back.n_bonds(), 2);
+        assert_eq!(back.formula(), mol.formula());
+    }
+
+    #[test]
+    fn decode_rounds_noisy_values() {
+        let mol = ethanol();
+        let mut m = MoleculeMatrix::encode(&mol, 4).unwrap();
+        // Perturb each value by < 0.5 so rounding recovers the codes.
+        for r in 0..4 {
+            for c in 0..4 {
+                let v = m.get(r, c);
+                m.set(r, c, v + if (r + c) % 2 == 0 { 0.3 } else { -0.3 });
+            }
+        }
+        let back = m.decode();
+        assert_eq!(back.formula(), mol.formula());
+        assert_eq!(back.n_bonds(), mol.n_bonds());
+    }
+
+    #[test]
+    fn decode_clamps_out_of_range() {
+        let mut m = MoleculeMatrix::zeros(2);
+        m.set(0, 0, 9.7); // clamps to 5 → sulfur
+        m.set(1, 1, -3.0); // clamps to 0 → no atom
+        m.set(0, 1, 11.0);
+        m.set(1, 0, 11.0);
+        let mol = m.decode();
+        assert_eq!(mol.n_atoms(), 1);
+        assert_eq!(mol.element(0), Element::S);
+        assert_eq!(mol.n_bonds(), 0); // partner atom missing
+    }
+
+    #[test]
+    fn decode_symmetrizes_by_averaging() {
+        let mut m = MoleculeMatrix::zeros(2);
+        m.set(0, 0, 1.0);
+        m.set(1, 1, 1.0);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, 3.0); // average 2 → double bond
+        let mol = m.decode();
+        assert_eq!(mol.n_bonds(), 1);
+        assert_eq!(mol.bonds()[0].order, BondOrder::Double);
+    }
+
+    #[test]
+    fn decode_skips_bonds_to_empty_slots() {
+        let mut m = MoleculeMatrix::zeros(3);
+        m.set(0, 0, 1.0);
+        // slot 1 has no atom but a bond value
+        m.set(0, 1, 2.0);
+        m.set(1, 0, 2.0);
+        let mol = m.decode();
+        assert_eq!(mol.n_atoms(), 1);
+        assert_eq!(mol.n_bonds(), 0);
+    }
+
+    #[test]
+    fn l1_normalization() {
+        let m = MoleculeMatrix::encode(&ethanol(), 3).unwrap();
+        let norm = m.l1_norm();
+        assert!(norm > 0.0);
+        let n = m.l1_normalized();
+        assert!((n.as_features().iter().map(|x| x.abs()).sum::<f64>() - 1.0).abs() < 1e-12);
+        // Zero matrix: no-op.
+        let z = MoleculeMatrix::zeros(2).l1_normalized();
+        assert_eq!(z.l1_norm(), 0.0);
+    }
+
+    #[test]
+    fn from_values_validates_shape() {
+        assert!(MoleculeMatrix::from_values(2, vec![0.0; 3]).is_err());
+        assert!(MoleculeMatrix::from_values(0, vec![]).is_err());
+        assert!(MoleculeMatrix::from_values(2, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn features_round_trip() {
+        let m = MoleculeMatrix::encode(&ethanol(), 3).unwrap();
+        let feats = m.clone().into_features();
+        assert_eq!(feats.len(), 9);
+        let m2 = MoleculeMatrix::from_values(3, feats).unwrap();
+        assert_eq!(m, m2);
+    }
+}

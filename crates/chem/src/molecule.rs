@@ -1,0 +1,451 @@
+//! The molecular graph.
+
+use crate::bond::BondOrder;
+use crate::element::Element;
+use crate::error::{ChemError, Result};
+use std::collections::VecDeque;
+
+/// A bond between two heavy atoms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Bond {
+    /// Lower atom index.
+    pub a: usize,
+    /// Higher atom index.
+    pub b: usize,
+    /// Bond order.
+    pub order: BondOrder,
+}
+
+impl Bond {
+    /// Creates a normalized bond (endpoints sorted).
+    pub fn new(a: usize, b: usize, order: BondOrder) -> Self {
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        Bond { a, b, order }
+    }
+
+    /// The endpoint opposite `atom`, if `atom` is an endpoint.
+    pub fn other(&self, atom: usize) -> Option<usize> {
+        if atom == self.a {
+            Some(self.b)
+        } else if atom == self.b {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+}
+
+/// An undirected molecular graph over heavy atoms with implicit hydrogens.
+///
+/// # Examples
+///
+/// Ethanol (CCO):
+///
+/// ```
+/// use sqvae_chem::{BondOrder, Element, Molecule};
+///
+/// let mut mol = Molecule::new();
+/// let c1 = mol.add_atom(Element::C);
+/// let c2 = mol.add_atom(Element::C);
+/// let o = mol.add_atom(Element::O);
+/// mol.add_bond(c1, c2, BondOrder::Single)?;
+/// mol.add_bond(c2, o, BondOrder::Single)?;
+/// assert_eq!(mol.implicit_hydrogens(c1), 3);
+/// assert_eq!(mol.implicit_hydrogens(o), 1);
+/// assert!(mol.is_connected());
+/// # Ok::<(), sqvae_chem::ChemError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Molecule {
+    atoms: Vec<Element>,
+    bonds: Vec<Bond>,
+}
+
+impl Molecule {
+    /// An empty molecule.
+    pub fn new() -> Self {
+        Molecule::default()
+    }
+
+    /// Builds a molecule from parts, validating every bond.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first bond-validation error.
+    pub fn from_parts(
+        atoms: Vec<Element>,
+        bonds: impl IntoIterator<Item = (usize, usize, BondOrder)>,
+    ) -> Result<Self> {
+        let mut mol = Molecule {
+            atoms,
+            bonds: Vec::new(),
+        };
+        for (a, b, order) in bonds {
+            mol.add_bond(a, b, order)?;
+        }
+        Ok(mol)
+    }
+
+    /// Appends an atom, returning its index.
+    pub fn add_atom(&mut self, element: Element) -> usize {
+        self.atoms.push(element);
+        self.atoms.len() - 1
+    }
+
+    /// Adds a bond between two distinct existing atoms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChemError::AtomOutOfRange`], [`ChemError::SelfBond`], or
+    /// [`ChemError::DuplicateBond`].
+    pub fn add_bond(&mut self, a: usize, b: usize, order: BondOrder) -> Result<()> {
+        let n = self.atoms.len();
+        for idx in [a, b] {
+            if idx >= n {
+                return Err(ChemError::AtomOutOfRange { index: idx, n_atoms: n });
+            }
+        }
+        if a == b {
+            return Err(ChemError::SelfBond { index: a });
+        }
+        if self.bond_between(a, b).is_some() {
+            let (a, b) = if a <= b { (a, b) } else { (b, a) };
+            return Err(ChemError::DuplicateBond { a, b });
+        }
+        self.bonds.push(Bond::new(a, b, order));
+        Ok(())
+    }
+
+    /// Number of heavy atoms.
+    pub fn n_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Number of bonds.
+    pub fn n_bonds(&self) -> usize {
+        self.bonds.len()
+    }
+
+    /// Whether the molecule has no atoms.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Element of atom `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn element(&self, i: usize) -> Element {
+        self.atoms[i]
+    }
+
+    /// All atoms.
+    pub fn atoms(&self) -> &[Element] {
+        &self.atoms
+    }
+
+    /// All bonds.
+    pub fn bonds(&self) -> &[Bond] {
+        &self.bonds
+    }
+
+    /// The bond between `a` and `b`, if any.
+    pub fn bond_between(&self, a: usize, b: usize) -> Option<&Bond> {
+        let key = Bond::new(a, b, BondOrder::Single);
+        self.bonds
+            .iter()
+            .find(|bd| bd.a == key.a && bd.b == key.b)
+    }
+
+    /// Neighbor atoms of `i` with the connecting bond order.
+    pub fn neighbors(&self, i: usize) -> Vec<(usize, BondOrder)> {
+        self.bonds
+            .iter()
+            .filter_map(|bd| bd.other(i).map(|o| (o, bd.order)))
+            .collect()
+    }
+
+    /// Number of heavy-atom neighbors of `i`.
+    pub fn degree(&self, i: usize) -> usize {
+        self.bonds.iter().filter(|bd| bd.other(i).is_some()).count()
+    }
+
+    /// Sum of bond-order valence contributions at atom `i` (aromatic = 1.5).
+    pub fn explicit_valence(&self, i: usize) -> f64 {
+        self.bonds
+            .iter()
+            .filter(|bd| bd.other(i).is_some())
+            .map(|bd| bd.order.valence_contribution())
+            .sum()
+    }
+
+    /// Implicit hydrogens at atom `i`: the element's default valence minus
+    /// the explicit valence (clamped at 0, aromatic halves rounded down as
+    /// in RDKit's Kekulé-free accounting).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn implicit_hydrogens(&self, i: usize) -> u8 {
+        let explicit = self.explicit_valence(i);
+        let slots = self.atoms[i].default_valence() as f64 - explicit;
+        if slots <= 0.0 {
+            0
+        } else {
+            slots.floor() as u8
+        }
+    }
+
+    /// Total hydrogen count over the whole molecule.
+    pub fn total_hydrogens(&self) -> u32 {
+        (0..self.n_atoms())
+            .map(|i| self.implicit_hydrogens(i) as u32)
+            .sum()
+    }
+
+    /// Whether every atom is reachable from atom 0 (empty molecules count as
+    /// disconnected).
+    pub fn is_connected(&self) -> bool {
+        if self.atoms.is_empty() {
+            return false;
+        }
+        self.connected_components().len() == 1
+    }
+
+    /// Connected components as lists of atom indices (each sorted).
+    pub fn connected_components(&self) -> Vec<Vec<usize>> {
+        let n = self.atoms.len();
+        let mut seen = vec![false; n];
+        let mut components = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut queue = VecDeque::from([start]);
+            seen[start] = true;
+            while let Some(u) = queue.pop_front() {
+                comp.push(u);
+                for (v, _) in self.neighbors(u) {
+                    if !seen[v] {
+                        seen[v] = true;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            components.push(comp);
+        }
+        components
+    }
+
+    /// The induced subgraph on `keep` (indices remapped in sorted order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChemError::AtomOutOfRange`] for invalid indices.
+    pub fn subgraph(&self, keep: &[usize]) -> Result<Molecule> {
+        let n = self.atoms.len();
+        let mut sorted: Vec<usize> = keep.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut remap = vec![usize::MAX; n];
+        let mut atoms = Vec::with_capacity(sorted.len());
+        for (new_idx, &old) in sorted.iter().enumerate() {
+            if old >= n {
+                return Err(ChemError::AtomOutOfRange { index: old, n_atoms: n });
+            }
+            remap[old] = new_idx;
+            atoms.push(self.atoms[old]);
+        }
+        let mut out = Molecule { atoms, bonds: Vec::new() };
+        for bd in &self.bonds {
+            if remap[bd.a] != usize::MAX && remap[bd.b] != usize::MAX {
+                out.bonds.push(Bond::new(remap[bd.a], remap[bd.b], bd.order));
+            }
+        }
+        Ok(out)
+    }
+
+    /// The largest connected component (ties broken by lowest first index).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChemError::EmptyMolecule`] for an empty molecule.
+    pub fn largest_fragment(&self) -> Result<Molecule> {
+        let comps = self.connected_components();
+        let best = comps
+            .iter()
+            .max_by_key(|c| c.len())
+            .ok_or(ChemError::EmptyMolecule)?;
+        self.subgraph(best)
+    }
+
+    /// Molecular formula like `C2H6O` (Hill order: C, H, then alphabetical).
+    pub fn formula(&self) -> String {
+        use std::collections::BTreeMap;
+        let mut counts: BTreeMap<&str, u32> = BTreeMap::new();
+        for &a in &self.atoms {
+            *counts.entry(a.symbol()).or_insert(0) += 1;
+        }
+        let h = self.total_hydrogens();
+        let mut out = String::new();
+        let mut push = |sym: &str, n: u32| {
+            if n == 1 {
+                out.push_str(sym);
+            } else if n > 1 {
+                out.push_str(sym);
+                out.push_str(&n.to_string());
+            }
+        };
+        if let Some(&c) = counts.get("C") {
+            push("C", c);
+            counts.remove("C");
+        }
+        push("H", h);
+        for (sym, n) in counts {
+            push(sym, n);
+        }
+        out
+    }
+
+    /// Count of atoms of a given element.
+    pub fn count_element(&self, e: Element) -> usize {
+        self.atoms.iter().filter(|&&a| a == e).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Benzene as six aromatic-bonded carbons.
+    pub(crate) fn benzene() -> Molecule {
+        let mut m = Molecule::new();
+        for _ in 0..6 {
+            m.add_atom(Element::C);
+        }
+        for i in 0..6 {
+            m.add_bond(i, (i + 1) % 6, BondOrder::Aromatic).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn bond_normalizes_endpoints() {
+        let b = Bond::new(5, 2, BondOrder::Double);
+        assert_eq!((b.a, b.b), (2, 5));
+        assert_eq!(b.other(2), Some(5));
+        assert_eq!(b.other(5), Some(2));
+        assert_eq!(b.other(3), None);
+    }
+
+    #[test]
+    fn add_bond_validations() {
+        let mut m = Molecule::new();
+        let a = m.add_atom(Element::C);
+        let b = m.add_atom(Element::C);
+        assert!(m.add_bond(a, 7, BondOrder::Single).is_err());
+        assert!(m.add_bond(a, a, BondOrder::Single).is_err());
+        m.add_bond(a, b, BondOrder::Single).unwrap();
+        assert_eq!(
+            m.add_bond(b, a, BondOrder::Double).unwrap_err(),
+            ChemError::DuplicateBond { a: 0, b: 1 }
+        );
+    }
+
+    #[test]
+    fn implicit_hydrogens_methane_family() {
+        let mut m = Molecule::new();
+        let c = m.add_atom(Element::C);
+        assert_eq!(m.implicit_hydrogens(c), 4); // methane
+        let o = m.add_atom(Element::O);
+        m.add_bond(c, o, BondOrder::Double).unwrap();
+        assert_eq!(m.implicit_hydrogens(c), 2); // formaldehyde CH2=O
+        assert_eq!(m.implicit_hydrogens(o), 0);
+        assert_eq!(m.formula(), "CH2O");
+    }
+
+    #[test]
+    fn aromatic_carbon_in_benzene_has_one_hydrogen() {
+        let m = benzene();
+        for i in 0..6 {
+            assert_eq!(m.explicit_valence(i), 3.0);
+            assert_eq!(m.implicit_hydrogens(i), 1);
+        }
+        assert_eq!(m.formula(), "C6H6");
+    }
+
+    #[test]
+    fn connectivity_and_components() {
+        let mut m = Molecule::new();
+        let a = m.add_atom(Element::C);
+        let b = m.add_atom(Element::C);
+        let c = m.add_atom(Element::O);
+        m.add_bond(a, b, BondOrder::Single).unwrap();
+        assert!(!m.is_connected());
+        let comps = m.connected_components();
+        assert_eq!(comps, vec![vec![0, 1], vec![2]]);
+        m.add_bond(b, c, BondOrder::Single).unwrap();
+        assert!(m.is_connected());
+        assert!(!Molecule::new().is_connected());
+    }
+
+    #[test]
+    fn largest_fragment_extracts_biggest_piece() {
+        let mut m = Molecule::new();
+        for _ in 0..3 {
+            m.add_atom(Element::C);
+        }
+        m.add_atom(Element::O); // isolated
+        m.add_bond(0, 1, BondOrder::Single).unwrap();
+        m.add_bond(1, 2, BondOrder::Single).unwrap();
+        let frag = m.largest_fragment().unwrap();
+        assert_eq!(frag.n_atoms(), 3);
+        assert_eq!(frag.n_bonds(), 2);
+        assert!(frag.atoms().iter().all(|&e| e == Element::C));
+        assert!(Molecule::new().largest_fragment().is_err());
+    }
+
+    #[test]
+    fn subgraph_remaps_bonds() {
+        let m = benzene();
+        let sub = m.subgraph(&[1, 2, 3]).unwrap();
+        assert_eq!(sub.n_atoms(), 3);
+        assert_eq!(sub.n_bonds(), 2); // 1-2 and 2-3 survive
+        assert!(m.subgraph(&[9]).is_err());
+    }
+
+    #[test]
+    fn degree_and_neighbors() {
+        let m = benzene();
+        assert_eq!(m.degree(0), 2);
+        let nb = m.neighbors(0);
+        assert_eq!(nb.len(), 2);
+        assert!(nb.iter().all(|&(_, o)| o == BondOrder::Aromatic));
+    }
+
+    #[test]
+    fn formula_hill_order() {
+        // Thiophene-like fragment: C4S ring.
+        let mut m = Molecule::new();
+        for _ in 0..4 {
+            m.add_atom(Element::C);
+        }
+        let s = m.add_atom(Element::S);
+        m.add_bond(0, 1, BondOrder::Aromatic).unwrap();
+        m.add_bond(1, 2, BondOrder::Aromatic).unwrap();
+        m.add_bond(2, 3, BondOrder::Aromatic).unwrap();
+        m.add_bond(3, s, BondOrder::Aromatic).unwrap();
+        m.add_bond(s, 0, BondOrder::Aromatic).unwrap();
+        assert_eq!(m.formula(), "C4H4S");
+    }
+
+    #[test]
+    fn count_element_works() {
+        let m = benzene();
+        assert_eq!(m.count_element(Element::C), 6);
+        assert_eq!(m.count_element(Element::N), 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Lipinski's rule of five — the classic drug-likeness filter, provided as
+//! an additional screen for sampled ligands.
+
+use crate::molecule::Molecule;
+use crate::properties::basic::{hb_acceptors, hb_donors, molecular_weight};
+use crate::properties::logp::log_p;
+
+/// The four rule-of-five criteria for one molecule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuleOfFive {
+    /// Molecular weight (limit ≤ 500 g/mol).
+    pub mw: f64,
+    /// Crippen logP (limit ≤ 5).
+    pub logp: f64,
+    /// Hydrogen-bond donors (limit ≤ 5).
+    pub donors: usize,
+    /// Hydrogen-bond acceptors (limit ≤ 10).
+    pub acceptors: usize,
+}
+
+impl RuleOfFive {
+    /// Evaluates the four descriptors.
+    pub fn compute(mol: &Molecule) -> Self {
+        RuleOfFive {
+            mw: molecular_weight(mol),
+            logp: log_p(mol),
+            donors: hb_donors(mol),
+            acceptors: hb_acceptors(mol),
+        }
+    }
+
+    /// Number of criteria violated (0–4).
+    pub fn violations(&self) -> usize {
+        usize::from(self.mw > 500.0)
+            + usize::from(self.logp > 5.0)
+            + usize::from(self.donors > 5)
+            + usize::from(self.acceptors > 10)
+    }
+
+    /// Lipinski compliance: at most one violation.
+    pub fn passes(&self) -> bool {
+        self.violations() <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bond::BondOrder;
+    use crate::element::Element;
+
+    fn chain(n: usize) -> Molecule {
+        let mut m = Molecule::new();
+        for _ in 0..n {
+            m.add_atom(Element::C);
+        }
+        for i in 0..n.saturating_sub(1) {
+            m.add_bond(i, i + 1, BondOrder::Single).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn small_druglike_passes() {
+        let mut m = chain(6);
+        let o = m.add_atom(Element::O);
+        m.add_bond(5, o, BondOrder::Single).unwrap();
+        let r5 = RuleOfFive::compute(&m);
+        assert_eq!(r5.violations(), 0);
+        assert!(r5.passes());
+    }
+
+    #[test]
+    fn grease_violates_logp() {
+        let r5 = RuleOfFive::compute(&chain(30));
+        assert!(r5.logp > 5.0);
+        assert!(r5.violations() >= 1);
+    }
+
+    #[test]
+    fn single_violation_still_passes() {
+        // One violation is tolerated by the rule.
+        let r5 = RuleOfFive {
+            mw: 510.0,
+            logp: 3.0,
+            donors: 2,
+            acceptors: 4,
+        };
+        assert_eq!(r5.violations(), 1);
+        assert!(r5.passes());
+    }
+
+    #[test]
+    fn multiple_violations_fail() {
+        let r5 = RuleOfFive {
+            mw: 700.0,
+            logp: 7.0,
+            donors: 8,
+            acceptors: 12,
+        };
+        assert_eq!(r5.violations(), 4);
+        assert!(!r5.passes());
+    }
+}

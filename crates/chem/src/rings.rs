@@ -1,0 +1,283 @@
+//! Ring perception.
+//!
+//! The property calculators (QED's aromatic-ring count, SA's ring-complexity
+//! penalty, rotatable-bond exclusion) need ring membership. For the ≤32-atom
+//! ligands of this reproduction, an SSSR approximation via per-bond shortest
+//! cycles is accurate and fast.
+
+use crate::bond::BondOrder;
+use crate::molecule::Molecule;
+use std::collections::VecDeque;
+
+/// Ring information for a molecule.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RingInfo {
+    /// Rings as sorted atom-index lists (smallest set of smallest rings,
+    /// approximately).
+    pub rings: Vec<Vec<usize>>,
+    /// Per-atom ring membership.
+    pub atom_in_ring: Vec<bool>,
+    /// Per-bond (by index into `molecule.bonds()`) ring membership.
+    pub bond_in_ring: Vec<bool>,
+}
+
+impl RingInfo {
+    /// Number of perceived rings.
+    pub fn n_rings(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Rings in which every bond is aromatic.
+    pub fn aromatic_rings(&self, mol: &Molecule) -> Vec<&Vec<usize>> {
+        self.rings
+            .iter()
+            .filter(|ring| ring_is_aromatic(mol, ring))
+            .collect()
+    }
+
+    /// Number of aromatic rings (QED's `AROM` descriptor).
+    pub fn n_aromatic_rings(&self, mol: &Molecule) -> usize {
+        self.aromatic_rings(mol).len()
+    }
+
+    /// Number of rings larger than 8 atoms (SA's macrocycle penalty).
+    pub fn n_macrocycles(&self) -> usize {
+        self.rings.iter().filter(|r| r.len() > 8).count()
+    }
+
+    /// Number of ring pairs sharing at least two atoms (fused systems, used
+    /// by the SA complexity penalty).
+    pub fn n_fused_pairs(&self) -> usize {
+        let mut count = 0;
+        for i in 0..self.rings.len() {
+            for j in (i + 1)..self.rings.len() {
+                let shared = self.rings[i]
+                    .iter()
+                    .filter(|a| self.rings[j].binary_search(a).is_ok())
+                    .count();
+                if shared >= 2 {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+}
+
+fn ring_is_aromatic(mol: &Molecule, ring: &[usize]) -> bool {
+    if ring.len() < 3 {
+        return false;
+    }
+    // Every consecutive pair in the cycle must be bonded aromatically. The
+    // ring list is sorted, so instead check all in-ring bonds between ring
+    // atoms: each ring atom must have exactly two aromatic in-ring bonds.
+    for &a in ring {
+        let aromatic_in_ring = mol
+            .neighbors(a)
+            .into_iter()
+            .filter(|&(n, o)| ring.binary_search(&n).is_ok() && o == BondOrder::Aromatic)
+            .count();
+        if aromatic_in_ring < 2 {
+            return false;
+        }
+    }
+    true
+}
+
+/// The cyclomatic number `bonds − atoms + components` — the exact count of
+/// independent rings.
+pub fn ring_count(mol: &Molecule) -> usize {
+    let comps = mol.connected_components().len();
+    (mol.n_bonds() + comps).saturating_sub(mol.n_atoms())
+}
+
+/// Perceives rings: for every bond, the shortest cycle through it (BFS with
+/// the bond removed), deduplicated.
+pub fn perceive_rings(mol: &Molecule) -> RingInfo {
+    let n = mol.n_atoms();
+    let mut rings: Vec<Vec<usize>> = Vec::new();
+    let mut atom_in_ring = vec![false; n];
+    let mut bond_in_ring = vec![false; mol.n_bonds()];
+
+    for (bidx, bond) in mol.bonds().iter().enumerate() {
+        if let Some(path) = shortest_path_excluding(mol, bond.a, bond.b, bidx) {
+            // path goes a → … → b; together with the bond it is a cycle.
+            let mut ring = path;
+            ring.sort_unstable();
+            ring.dedup();
+            bond_in_ring[bidx] = true;
+            for &a in &ring {
+                atom_in_ring[a] = true;
+            }
+            if !rings.contains(&ring) {
+                rings.push(ring);
+            }
+        }
+    }
+    rings.sort_by_key(|r| (r.len(), r.clone()));
+    RingInfo {
+        rings,
+        atom_in_ring,
+        bond_in_ring,
+    }
+}
+
+/// BFS shortest path from `src` to `dst` not using bond `skip_bond`.
+fn shortest_path_excluding(
+    mol: &Molecule,
+    src: usize,
+    dst: usize,
+    skip_bond: usize,
+) -> Option<Vec<usize>> {
+    let n = mol.n_atoms();
+    let mut prev = vec![usize::MAX; n];
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::from([src]);
+    seen[src] = true;
+    while let Some(u) = queue.pop_front() {
+        if u == dst {
+            let mut path = vec![dst];
+            let mut cur = dst;
+            while cur != src {
+                cur = prev[cur];
+                path.push(cur);
+            }
+            return Some(path);
+        }
+        for (bidx, bd) in mol.bonds().iter().enumerate() {
+            if bidx == skip_bond {
+                continue;
+            }
+            if let Some(v) = bd.other(u) {
+                if !seen[v] {
+                    seen[v] = true;
+                    prev[v] = u;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::Element;
+
+    fn benzene() -> Molecule {
+        let mut m = Molecule::new();
+        for _ in 0..6 {
+            m.add_atom(Element::C);
+        }
+        for i in 0..6 {
+            m.add_bond(i, (i + 1) % 6, BondOrder::Aromatic).unwrap();
+        }
+        m
+    }
+
+    fn cyclohexane() -> Molecule {
+        let mut m = Molecule::new();
+        for _ in 0..6 {
+            m.add_atom(Element::C);
+        }
+        for i in 0..6 {
+            m.add_bond(i, (i + 1) % 6, BondOrder::Single).unwrap();
+        }
+        m
+    }
+
+    fn naphthalene() -> Molecule {
+        // Two fused aromatic 6-rings sharing atoms 0 and 5.
+        let mut m = Molecule::new();
+        for _ in 0..10 {
+            m.add_atom(Element::C);
+        }
+        for i in 0..5 {
+            m.add_bond(i, i + 1, BondOrder::Aromatic).unwrap();
+        }
+        m.add_bond(5, 0, BondOrder::Aromatic).unwrap();
+        m.add_bond(5, 6, BondOrder::Aromatic).unwrap();
+        for i in 6..9 {
+            m.add_bond(i, i + 1, BondOrder::Aromatic).unwrap();
+        }
+        m.add_bond(9, 0, BondOrder::Aromatic).unwrap();
+        m
+    }
+
+    #[test]
+    fn chain_has_no_rings() {
+        let mut m = Molecule::new();
+        let a = m.add_atom(Element::C);
+        let b = m.add_atom(Element::C);
+        m.add_bond(a, b, BondOrder::Single).unwrap();
+        assert_eq!(ring_count(&m), 0);
+        let info = perceive_rings(&m);
+        assert_eq!(info.n_rings(), 0);
+        assert!(!info.atom_in_ring[0]);
+    }
+
+    #[test]
+    fn benzene_is_one_aromatic_ring() {
+        let m = benzene();
+        assert_eq!(ring_count(&m), 1);
+        let info = perceive_rings(&m);
+        assert_eq!(info.n_rings(), 1);
+        assert_eq!(info.rings[0].len(), 6);
+        assert_eq!(info.n_aromatic_rings(&m), 1);
+        assert!(info.atom_in_ring.iter().all(|&x| x));
+        assert!(info.bond_in_ring.iter().all(|&x| x));
+        assert_eq!(info.n_macrocycles(), 0);
+    }
+
+    #[test]
+    fn cyclohexane_ring_is_not_aromatic() {
+        let m = cyclohexane();
+        let info = perceive_rings(&m);
+        assert_eq!(info.n_rings(), 1);
+        assert_eq!(info.n_aromatic_rings(&m), 0);
+    }
+
+    #[test]
+    fn naphthalene_has_two_fused_aromatic_rings() {
+        let m = naphthalene();
+        assert_eq!(ring_count(&m), 2);
+        let info = perceive_rings(&m);
+        assert_eq!(info.n_rings(), 2);
+        assert_eq!(info.n_aromatic_rings(&m), 2);
+        assert_eq!(info.n_fused_pairs(), 1);
+    }
+
+    #[test]
+    fn macrocycle_detection() {
+        let mut m = Molecule::new();
+        for _ in 0..12 {
+            m.add_atom(Element::C);
+        }
+        for i in 0..12 {
+            m.add_bond(i, (i + 1) % 12, BondOrder::Single).unwrap();
+        }
+        let info = perceive_rings(&m);
+        assert_eq!(info.n_rings(), 1);
+        assert_eq!(info.n_macrocycles(), 1);
+    }
+
+    #[test]
+    fn ring_and_tail() {
+        // Benzene with a two-carbon tail: tail atoms/bonds not in a ring.
+        let mut m = benzene();
+        let t1 = m.add_atom(Element::C);
+        let t2 = m.add_atom(Element::C);
+        m.add_bond(0, t1, BondOrder::Single).unwrap();
+        m.add_bond(t1, t2, BondOrder::Single).unwrap();
+        let info = perceive_rings(&m);
+        assert_eq!(info.n_rings(), 1);
+        assert!(!info.atom_in_ring[t1]);
+        assert!(!info.atom_in_ring[t2]);
+        let tail_bond = m.bond_between(t1, t2).is_some();
+        assert!(tail_bond);
+        // Last two bonds (tail) not in ring.
+        assert!(!info.bond_in_ring[m.n_bonds() - 1]);
+        assert!(!info.bond_in_ring[m.n_bonds() - 2]);
+    }
+}

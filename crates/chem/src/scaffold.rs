@@ -1,0 +1,150 @@
+//! Murcko scaffolds — the ring-systems-plus-linkers core of a molecule.
+//!
+//! Scaffold extraction is the standard way to ask whether a generative
+//! model invents new *chemotypes* or merely decorates training scaffolds;
+//! it complements the fingerprint-based novelty metric used alongside
+//! Table II.
+
+use crate::error::Result;
+use crate::molecule::Molecule;
+use crate::rings::perceive_rings;
+use std::collections::VecDeque;
+
+/// Extracts the Murcko scaffold: all ring atoms plus the shortest linkers
+/// connecting ring systems; side chains are pruned. Returns `None` for
+/// acyclic molecules (which have no scaffold).
+///
+/// # Errors
+///
+/// Propagates subgraph-construction errors (unreachable for valid inputs).
+pub fn murcko_scaffold(mol: &Molecule) -> Result<Option<Molecule>> {
+    let rings = perceive_rings(mol);
+    if rings.rings.is_empty() {
+        return Ok(None);
+    }
+    // Keep = ring atoms + atoms on shortest paths between distinct rings.
+    let mut keep: Vec<bool> = rings.atom_in_ring.clone();
+    for i in 0..rings.rings.len() {
+        for j in (i + 1)..rings.rings.len() {
+            if let Some(path) = shortest_path_between_sets(mol, &rings.rings[i], &rings.rings[j])
+            {
+                for a in path {
+                    keep[a] = true;
+                }
+            }
+        }
+    }
+    let kept: Vec<usize> = (0..mol.n_atoms()).filter(|&i| keep[i]).collect();
+    let sub = mol.subgraph(&kept)?;
+    // The scaffold is the largest connected piece of the kept sub-graph
+    // (disconnected ring systems without a kept linker fall back to the
+    // biggest one).
+    Ok(Some(sub.largest_fragment()?))
+}
+
+/// BFS shortest path from any atom of `from` to any atom of `to`.
+fn shortest_path_between_sets(
+    mol: &Molecule,
+    from: &[usize],
+    to: &[usize],
+) -> Option<Vec<usize>> {
+    let n = mol.n_atoms();
+    let mut prev = vec![usize::MAX; n];
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::new();
+    for &s in from {
+        seen[s] = true;
+        queue.push_back(s);
+    }
+    while let Some(u) = queue.pop_front() {
+        if to.binary_search(&u).is_ok() {
+            let mut path = vec![u];
+            let mut cur = u;
+            while prev[cur] != usize::MAX {
+                cur = prev[cur];
+                path.push(cur);
+            }
+            return Some(path);
+        }
+        for (v, _) in mol.neighbors(u) {
+            if !seen[v] {
+                seen[v] = true;
+                prev[v] = u;
+                queue.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bond::BondOrder;
+    use crate::element::Element;
+
+    fn benzene_with_tail(tail: usize) -> Molecule {
+        let mut m = Molecule::new();
+        for _ in 0..6 {
+            m.add_atom(Element::C);
+        }
+        for i in 0..6 {
+            m.add_bond(i, (i + 1) % 6, BondOrder::Aromatic).unwrap();
+        }
+        let mut prev = 0;
+        for _ in 0..tail {
+            let a = m.add_atom(Element::C);
+            m.add_bond(prev, a, BondOrder::Single).unwrap();
+            prev = a;
+        }
+        m
+    }
+
+    #[test]
+    fn acyclic_molecule_has_no_scaffold() {
+        let mut m = Molecule::new();
+        let a = m.add_atom(Element::C);
+        let b = m.add_atom(Element::C);
+        m.add_bond(a, b, BondOrder::Single).unwrap();
+        assert_eq!(murcko_scaffold(&m).unwrap(), None);
+    }
+
+    #[test]
+    fn side_chains_are_pruned() {
+        let m = benzene_with_tail(3);
+        let s = murcko_scaffold(&m).unwrap().unwrap();
+        assert_eq!(s.n_atoms(), 6, "tail removed");
+        assert_eq!(s.formula(), "C6H6");
+    }
+
+    #[test]
+    fn linker_between_two_rings_is_kept() {
+        // Biphenyl-with-ethylene-bridge: ring — C — C — ring.
+        let mut m = benzene_with_tail(2);
+        let bridge_end = m.n_atoms() - 1;
+        let ring2_start = m.n_atoms();
+        for _ in 0..6 {
+            m.add_atom(Element::C);
+        }
+        for i in 0..6 {
+            m.add_bond(ring2_start + i, ring2_start + (i + 1) % 6, BondOrder::Aromatic)
+                .unwrap();
+        }
+        m.add_bond(bridge_end, ring2_start, BondOrder::Single).unwrap();
+        // A decoy side chain off the bridge.
+        let decoy = m.add_atom(Element::O);
+        m.add_bond(bridge_end, decoy, BondOrder::Single).unwrap();
+
+        let s = murcko_scaffold(&m).unwrap().unwrap();
+        assert_eq!(s.n_atoms(), 14, "two rings + two linker carbons, no decoy");
+        assert_eq!(s.count_element(Element::O), 0);
+        assert!(s.is_connected());
+    }
+
+    #[test]
+    fn pure_ring_is_its_own_scaffold() {
+        let m = benzene_with_tail(0);
+        let s = murcko_scaffold(&m).unwrap().unwrap();
+        assert_eq!(s.formula(), m.formula());
+    }
+}

@@ -1,0 +1,131 @@
+//! Valence checking — the validity model applied to decoded molecules.
+
+use crate::molecule::Molecule;
+
+/// A single valence violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValenceViolation {
+    /// Offending atom index.
+    pub atom: usize,
+    /// Its explicit valence (bond-order sum).
+    pub explicit: f64,
+    /// The maximum valence its element accepts.
+    pub max_allowed: f64,
+}
+
+/// Returns every atom whose explicit valence exceeds its element's maximum
+/// allowed valence.
+pub fn valence_violations(mol: &Molecule) -> Vec<ValenceViolation> {
+    (0..mol.n_atoms())
+        .filter_map(|i| {
+            let explicit = mol.explicit_valence(i);
+            let max_allowed = mol.element(i).max_valence() as f64;
+            // Small epsilon so aromatic 1.5-sums like benzene's 3.0 compare
+            // exactly and borderline fp noise does not flag.
+            (explicit > max_allowed + 1e-9).then_some(ValenceViolation {
+                atom: i,
+                explicit,
+                max_allowed,
+            })
+        })
+        .collect()
+}
+
+/// Whether every atom's valence is within its element's allowance.
+pub fn valences_ok(mol: &Molecule) -> bool {
+    valence_violations(mol).is_empty()
+}
+
+/// The MolGAN-style validity criterion used when scoring generated
+/// molecules: non-empty, connected, and valence-clean.
+pub fn is_valid(mol: &Molecule) -> bool {
+    !mol.is_empty() && mol.is_connected() && valences_ok(mol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bond::BondOrder;
+    use crate::element::Element;
+
+    #[test]
+    fn clean_molecule_passes() {
+        let mut m = Molecule::new();
+        let c = m.add_atom(Element::C);
+        let o = m.add_atom(Element::O);
+        m.add_bond(c, o, BondOrder::Double).unwrap();
+        assert!(valences_ok(&m));
+        assert!(is_valid(&m));
+    }
+
+    #[test]
+    fn pentavalent_carbon_fails() {
+        let mut m = Molecule::new();
+        let c = m.add_atom(Element::C);
+        for _ in 0..3 {
+            let n = m.add_atom(Element::C);
+            m.add_bond(c, n, BondOrder::Single).unwrap();
+        }
+        let n = m.add_atom(Element::C);
+        m.add_bond(c, n, BondOrder::Double).unwrap();
+        let v = valence_violations(&m);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].atom, 0);
+        assert_eq!(v[0].explicit, 5.0);
+        assert_eq!(v[0].max_allowed, 4.0);
+        assert!(!is_valid(&m));
+    }
+
+    #[test]
+    fn hypervalent_sulfur_is_accepted() {
+        // Sulfone-like S with two double bonds and two singles (valence 6).
+        let mut m = Molecule::new();
+        let s = m.add_atom(Element::S);
+        let o1 = m.add_atom(Element::O);
+        let o2 = m.add_atom(Element::O);
+        let c1 = m.add_atom(Element::C);
+        let c2 = m.add_atom(Element::C);
+        m.add_bond(s, o1, BondOrder::Double).unwrap();
+        m.add_bond(s, o2, BondOrder::Double).unwrap();
+        m.add_bond(s, c1, BondOrder::Single).unwrap();
+        m.add_bond(s, c2, BondOrder::Single).unwrap();
+        assert!(valences_ok(&m));
+    }
+
+    #[test]
+    fn fluorine_with_two_bonds_fails() {
+        let mut m = Molecule::new();
+        let f = m.add_atom(Element::F);
+        let c1 = m.add_atom(Element::C);
+        let c2 = m.add_atom(Element::C);
+        m.add_bond(f, c1, BondOrder::Single).unwrap();
+        m.add_bond(f, c2, BondOrder::Single).unwrap();
+        assert!(!valences_ok(&m));
+    }
+
+    #[test]
+    fn disconnected_molecule_is_invalid() {
+        let mut m = Molecule::new();
+        m.add_atom(Element::C);
+        m.add_atom(Element::C);
+        assert!(valences_ok(&m));
+        assert!(!is_valid(&m));
+    }
+
+    #[test]
+    fn empty_molecule_is_invalid() {
+        assert!(!is_valid(&Molecule::new()));
+    }
+
+    #[test]
+    fn benzene_aromatic_valence_is_exactly_ok() {
+        let mut m = Molecule::new();
+        for _ in 0..6 {
+            m.add_atom(Element::C);
+        }
+        for i in 0..6 {
+            m.add_bond(i, (i + 1) % 6, BondOrder::Aromatic).unwrap();
+        }
+        assert!(valences_ok(&m));
+    }
+}

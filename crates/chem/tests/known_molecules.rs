@@ -1,0 +1,140 @@
+//! Descriptor checks against well-known molecules, built via SMILES.
+
+use sqvae_chem::properties::basic::{hb_acceptors, hb_donors, molecular_weight, tpsa};
+use sqvae_chem::properties::logp::log_p;
+use sqvae_chem::properties::qed::qed;
+use sqvae_chem::properties::sa::sa_score;
+use sqvae_chem::properties::DrugProperties;
+use sqvae_chem::rings::{perceive_rings, ring_count};
+use sqvae_chem::{smiles, valence, Element};
+
+#[test]
+fn benzene() {
+    let m = smiles::parse("C:1:C:C:C:C:C1").unwrap();
+    assert_eq!(m.formula(), "C6H6");
+    assert!((molecular_weight(&m) - 78.11).abs() < 0.1);
+    assert_eq!(ring_count(&m), 1);
+    let rings = perceive_rings(&m);
+    assert_eq!(rings.n_aromatic_rings(&m), 1);
+    assert_eq!(tpsa(&m), 0.0);
+    assert_eq!(hb_acceptors(&m), 0);
+    assert!(log_p(&m) > 1.0 && log_p(&m) < 3.5, "benzene logP ≈ 2.1");
+}
+
+#[test]
+fn pyridine() {
+    let m = smiles::parse("C:1:C:C:N:C:C1").unwrap();
+    assert_eq!(m.formula(), "C5H5N");
+    // Aromatic N with no H: Ertl contribution 12.89.
+    assert!((tpsa(&m) - 12.89).abs() < 1e-9);
+    assert_eq!(hb_acceptors(&m), 1);
+    assert_eq!(hb_donors(&m), 0);
+    assert!(log_p(&m) < log_p(&smiles::parse("C:1:C:C:C:C:C1").unwrap()));
+}
+
+#[test]
+fn ethanol_vs_dimethyl_ether() {
+    let ethanol = smiles::parse("CCO").unwrap();
+    let ether = smiles::parse("COC").unwrap();
+    assert_eq!(ethanol.formula(), "C2H6O");
+    assert_eq!(ether.formula(), "C2H6O");
+    // Same formula, different donors and polar areas.
+    assert_eq!(hb_donors(&ethanol), 1);
+    assert_eq!(hb_donors(&ether), 0);
+    assert!(tpsa(&ethanol) > tpsa(&ether));
+}
+
+#[test]
+fn acetic_acid() {
+    let m = smiles::parse("CC(=O)O").unwrap();
+    assert_eq!(m.formula(), "C2H4O2");
+    assert!((molecular_weight(&m) - 60.05).abs() < 0.1);
+    // Carbonyl (17.07) + hydroxyl (20.23).
+    assert!((tpsa(&m) - 37.30).abs() < 1e-9);
+    assert_eq!(hb_acceptors(&m), 2);
+    assert_eq!(hb_donors(&m), 1);
+    assert!(log_p(&m) < 1.0, "acetic acid is hydrophilic");
+}
+
+#[test]
+fn acetonitrile_triple_bond() {
+    let m = smiles::parse("CC#N").unwrap();
+    assert_eq!(m.formula(), "C2H3N");
+    assert!(valence::valences_ok(&m));
+    assert_eq!(m.implicit_hydrogens(2), 0); // nitrile N
+}
+
+#[test]
+fn thiophene_ring() {
+    let m = smiles::parse("C:1:C:C:C:S1").unwrap();
+    assert_eq!(m.formula(), "C4H4S");
+    assert!(valence::valences_ok(&m));
+    let rings = perceive_rings(&m);
+    assert_eq!(rings.n_rings(), 1);
+    assert_eq!(rings.rings[0].len(), 5);
+    // Aromatic S contributes 28.24 to TPSA.
+    assert!((tpsa(&m) - 28.24).abs() < 1e-9);
+}
+
+#[test]
+fn qed_prefers_druglike_over_extremes() {
+    let methane = smiles::parse("C").unwrap();
+    let eicosane = smiles::parse("CCCCCCCCCCCCCCCCCCCC").unwrap();
+    // Toluamide-like: aromatic ring + amide.
+    let druglike = smiles::parse("C:1:C:C:C(:C:C1)C(=O)N").unwrap();
+    let q_drug = qed(&druglike);
+    assert!(q_drug > qed(&methane));
+    assert!(q_drug > qed(&eicosane));
+}
+
+#[test]
+fn sa_orders_simple_before_complex() {
+    let ethane = smiles::parse("CC").unwrap();
+    // Spiro-ish dense tricyclic with heteroatoms.
+    let complex = smiles::parse("C12C3C1C2OC3(N)SF").unwrap_or_else(|_| {
+        // Fall back to a fused carbocycle if the exotic SMILES fails.
+        smiles::parse("C1CC2CCC1C2").unwrap()
+    });
+    assert!(sa_score(&ethane) < sa_score(&complex));
+}
+
+#[test]
+fn full_property_struct_on_aspirin_like() {
+    let m = smiles::parse("CC(=O)OC:1:C:C:C:C:C1C(=O)O").unwrap();
+    assert!(valence::valences_ok(&m));
+    assert_eq!(m.count_element(Element::O), 4);
+    let p = DrugProperties::compute(&m);
+    assert!(p.qed > 0.2, "aspirin-like scaffold should be reasonably druglike");
+    assert!(p.logp > 0.2 && p.logp < 0.9);
+    assert!(p.sa > 0.4, "aspirin is easy to make");
+}
+
+#[test]
+fn percent_ring_closure_syntax() {
+    // %10 two-digit closure with an explicit aromatic bond.
+    let m = smiles::parse("C:%10:C:C:C:C:C%10").unwrap();
+    assert_eq!(m.formula(), "C6H6");
+    assert_eq!(ring_count(&m), 1);
+}
+
+#[test]
+fn nan_matrix_values_decode_to_empty_slots() {
+    // Failure injection: non-finite model outputs must not panic.
+    let mut values = vec![f64::NAN; 16];
+    values[0] = 1.0; // one carbon survives
+    let m = sqvae_chem::MoleculeMatrix::from_values(4, values).unwrap();
+    let decoded = m.decode();
+    assert_eq!(decoded.n_atoms(), 1);
+    assert_eq!(decoded.n_bonds(), 0);
+}
+
+#[test]
+fn infinite_matrix_values_clamp() {
+    let mut values = vec![0.0; 16];
+    values[0] = f64::INFINITY; // clamps to the sulfur code
+    values[5] = f64::NEG_INFINITY; // clamps to empty
+    let m = sqvae_chem::MoleculeMatrix::from_values(4, values).unwrap();
+    let decoded = m.decode();
+    assert_eq!(decoded.n_atoms(), 1);
+    assert_eq!(decoded.element(0), Element::S);
+}

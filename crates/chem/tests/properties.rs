@@ -1,0 +1,119 @@
+//! Property-based invariants of the cheminformatics substrate.
+
+use proptest::prelude::*;
+use sqvae_chem::properties::DrugProperties;
+use sqvae_chem::{sanitize, smiles, valence, BondOrder, Element, Molecule, MoleculeMatrix};
+
+/// Strategy: a random *valid* molecule built by attachment growth — each new
+/// atom bonds to a previous atom that still has valence room.
+fn arb_valid_molecule() -> impl Strategy<Value = Molecule> {
+    (
+        proptest::collection::vec(0u8..5, 1..12),
+        proptest::collection::vec(0usize..64, 12),
+        proptest::collection::vec(0u8..3, 12),
+    )
+        .prop_map(|(elements, attach, orders)| {
+            let mut mol = Molecule::new();
+            for (i, &ecode) in elements.iter().enumerate() {
+                let e = Element::ALL[ecode as usize % 5];
+                let idx = mol.add_atom(e);
+                if idx == 0 {
+                    continue;
+                }
+                // Pick an attachment point with room for one more single bond.
+                let candidates: Vec<usize> = (0..idx)
+                    .filter(|&j| {
+                        mol.explicit_valence(j) + 1.0
+                            <= mol.element(j).max_valence() as f64
+                    })
+                    .collect();
+                if candidates.is_empty() {
+                    continue;
+                }
+                let target = candidates[attach[i] % candidates.len()];
+                let order = match orders[i] {
+                    0 => BondOrder::Single,
+                    1 if mol.element(target).max_valence() as f64
+                        - mol.explicit_valence(target)
+                        >= 2.0
+                        && e.max_valence() >= 2 =>
+                    {
+                        BondOrder::Double
+                    }
+                    _ => BondOrder::Single,
+                };
+                mol.add_bond(idx, target, order).expect("fresh bond");
+            }
+            mol.largest_fragment().expect("non-empty")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Generated molecules pass the validity model.
+    #[test]
+    fn grown_molecules_are_valid(mol in arb_valid_molecule()) {
+        prop_assert!(valence::is_valid(&mol));
+    }
+
+    /// Matrix encode/decode is lossless for valid molecules.
+    #[test]
+    fn matrix_codec_round_trips(mol in arb_valid_molecule()) {
+        let m = MoleculeMatrix::encode(&mol, 16).unwrap();
+        let back = m.decode();
+        prop_assert_eq!(back.n_atoms(), mol.n_atoms());
+        prop_assert_eq!(back.n_bonds(), mol.n_bonds());
+        prop_assert_eq!(back.formula(), mol.formula());
+    }
+
+    /// SMILES write→parse preserves graph invariants.
+    #[test]
+    fn smiles_round_trips(mol in arb_valid_molecule()) {
+        let s = smiles::write(&mol).unwrap();
+        let back = smiles::parse(&s).unwrap();
+        prop_assert_eq!(back.n_atoms(), mol.n_atoms());
+        prop_assert_eq!(back.n_bonds(), mol.n_bonds());
+        prop_assert_eq!(back.formula(), mol.formula());
+        let mut deg_a: Vec<usize> = (0..mol.n_atoms()).map(|i| mol.degree(i)).collect();
+        let mut deg_b: Vec<usize> = (0..back.n_atoms()).map(|i| back.degree(i)).collect();
+        deg_a.sort_unstable();
+        deg_b.sort_unstable();
+        prop_assert_eq!(deg_a, deg_b);
+    }
+
+    /// Property metrics stay in their documented ranges.
+    #[test]
+    fn metric_ranges(mol in arb_valid_molecule()) {
+        let p = DrugProperties::compute(&mol);
+        prop_assert!(p.qed > 0.0 && p.qed <= 1.0, "qed {}", p.qed);
+        prop_assert!((0.0..=1.0).contains(&p.logp), "logp {}", p.logp);
+        prop_assert!((0.0..=1.0).contains(&p.sa), "sa {}", p.sa);
+        prop_assert!((1.0..=10.0).contains(&p.sa_raw));
+    }
+
+    /// Sanitizing an already-valid molecule changes nothing.
+    #[test]
+    fn sanitize_is_identity_on_valid(mol in arb_valid_molecule()) {
+        let s = sanitize::sanitize(&mol).unwrap();
+        prop_assert!(s.was_valid);
+        prop_assert_eq!(s.molecule.n_atoms(), mol.n_atoms());
+        prop_assert_eq!(s.molecule.n_bonds(), mol.n_bonds());
+    }
+
+    /// Sanitizing arbitrary decoded garbage always yields a valence-clean,
+    /// connected molecule.
+    #[test]
+    fn sanitize_repairs_random_matrices(
+        values in proptest::collection::vec(0.0..5.5f64, 64),
+    ) {
+        let m = MoleculeMatrix::from_values(8, values).unwrap();
+        let decoded = m.decode();
+        if decoded.is_empty() {
+            return Ok(());
+        }
+        let s = sanitize::sanitize(&decoded).unwrap();
+        prop_assert!(valence::valences_ok(&s.molecule));
+        prop_assert!(s.molecule.is_connected());
+    }
+}

@@ -1,0 +1,309 @@
+//! Factory functions for every autoencoder variant in the paper.
+//!
+//! | factory | paper name | input | notes |
+//! |---|---|---|---|
+//! | [`classical_ae`]/[`classical_vae`] | AE / VAE | any | 3-layer MLP halves |
+//! | [`f_bq_ae`]/[`f_bq_vae`] | F-BQ-AE / F-BQ-VAE | 2^n | fully quantum baseline |
+//! | [`h_bq_ae`]/[`h_bq_vae`] | H-BQ-AE / H-BQ-VAE | 2^n | + classical FCs for original scale |
+//! | [`sq_ae`]/[`sq_vae`] | SQ-AE / SQ-VAE | 2^n | patched circuits (§III-C) |
+//!
+//! Hybrid variants follow §IV-B: "Both quantum encoder and decoder are
+//! connected to a classical layer" — a latent-width FC after the quantum
+//! encoder and a full-width FC after the quantum decoder. With the paper's
+//! 64-feature / 6-qubit / 3-layer baseline this accounting reproduces
+//! Table I's quantum counts exactly (108) and its classical counts for the
+//! hybrid variants (4202 / 4286 = 42 + 84·[VAE] + 4160).
+
+use crate::autoencoder::Autoencoder;
+use crate::hybrid::HybridStack;
+use crate::latent::{GaussianLatent, Latent};
+use crate::patched::{patched_latent_dim, PatchedQuantumLayer};
+use crate::quantum_layer::{QuantumInput, QuantumLayer, QuantumOutput};
+use rand::Rng;
+use sqvae_nn::{Activation, ActivationKind, Linear};
+use sqvae_quantum::embed::qubits_for_features;
+
+/// Default KL weight for the VAE variants.
+pub const DEFAULT_KL_WEIGHT: f64 = 1.0;
+
+/// The paper's default quantum hidden-layer count for the baseline (§III-B).
+pub const BASELINE_LAYERS: usize = 3;
+
+/// The depth selected by the Fig. 6 sweep for scalable variants.
+pub const SCALABLE_LAYERS: usize = 5;
+
+/// Hidden widths for the classical MLP halves: the paper's 64→32→16→latent
+/// generalized as `input/2 → input/4 → latent`.
+pub fn default_hidden_dims(input_dim: usize) -> (usize, usize) {
+    ((input_dim / 2).max(2), (input_dim / 4).max(2))
+}
+
+fn mlp_encoder(input_dim: usize, latent_dim: usize, rng: &mut impl Rng) -> HybridStack {
+    let (h1, h2) = default_hidden_dims(input_dim);
+    let mut s = HybridStack::new();
+    s.push_classical(Linear::new(input_dim, h1, rng));
+    s.push_classical(Activation::new(ActivationKind::Relu));
+    s.push_classical(Linear::new(h1, h2, rng));
+    s.push_classical(Activation::new(ActivationKind::Relu));
+    s.push_classical(Linear::new(h2, latent_dim, rng));
+    s
+}
+
+fn mlp_decoder(latent_dim: usize, output_dim: usize, rng: &mut impl Rng) -> HybridStack {
+    let (h1, h2) = default_hidden_dims(output_dim);
+    let mut s = HybridStack::new();
+    s.push_classical(Linear::new(latent_dim, h2, rng));
+    s.push_classical(Activation::new(ActivationKind::Relu));
+    s.push_classical(Linear::new(h2, h1, rng));
+    s.push_classical(Activation::new(ActivationKind::Relu));
+    s.push_classical(Linear::new(h1, output_dim, rng));
+    s
+}
+
+/// Classical vanilla autoencoder (the paper's "AE", Table I column 1).
+pub fn classical_ae(input_dim: usize, latent_dim: usize, rng: &mut impl Rng) -> Autoencoder {
+    Autoencoder::new(
+        format!("AE(lsd={latent_dim})"),
+        mlp_encoder(input_dim, latent_dim, rng),
+        Latent::Identity,
+        mlp_decoder(latent_dim, input_dim, rng),
+    )
+    .with_identity_latent_dim(latent_dim)
+}
+
+/// Classical variational autoencoder (the paper's "VAE").
+pub fn classical_vae(input_dim: usize, latent_dim: usize, rng: &mut impl Rng) -> Autoencoder {
+    Autoencoder::new(
+        format!("VAE(lsd={latent_dim})"),
+        mlp_encoder(input_dim, latent_dim, rng),
+        Latent::Gaussian(GaussianLatent::new(
+            latent_dim,
+            latent_dim,
+            DEFAULT_KL_WEIGHT,
+            rng,
+        )),
+        mlp_decoder(latent_dim, input_dim, rng),
+    )
+}
+
+fn baseline_quantum_encoder(
+    input_dim: usize,
+    n_layers: usize,
+    rng: &mut impl Rng,
+) -> (HybridStack, usize) {
+    let n_qubits = qubits_for_features(input_dim);
+    let mut enc = HybridStack::new();
+    enc.push_quantum(QuantumLayer::new(
+        n_qubits,
+        n_layers,
+        QuantumInput::Amplitude {
+            in_features: input_dim,
+        },
+        QuantumOutput::ExpectationZ,
+        rng,
+    ));
+    (enc, n_qubits)
+}
+
+fn baseline_quantum_decoder(n_qubits: usize, n_layers: usize, rng: &mut impl Rng) -> HybridStack {
+    let mut dec = HybridStack::new();
+    dec.push_quantum(QuantumLayer::new(
+        n_qubits,
+        n_layers,
+        QuantumInput::Angle,
+        QuantumOutput::Probabilities,
+        rng,
+    ));
+    dec
+}
+
+/// Fully quantum baseline AE (F-BQ-AE): amplitude-in/expectation-out
+/// encoder, angle-in/probability-out decoder, no classical parameters.
+/// Suitable for *normalized* data only (§III-B).
+pub fn f_bq_ae(input_dim: usize, n_layers: usize, rng: &mut impl Rng) -> Autoencoder {
+    let (enc, n_qubits) = baseline_quantum_encoder(input_dim, n_layers, rng);
+    let dec = baseline_quantum_decoder(n_qubits, n_layers, rng);
+    Autoencoder::new(format!("F-BQ-AE({input_dim}d)"), enc, Latent::Identity, dec)
+        .with_identity_latent_dim(n_qubits)
+}
+
+/// Fully quantum baseline VAE (F-BQ-VAE): adds Gaussian latent heads.
+pub fn f_bq_vae(input_dim: usize, n_layers: usize, rng: &mut impl Rng) -> Autoencoder {
+    let (enc, n_qubits) = baseline_quantum_encoder(input_dim, n_layers, rng);
+    let dec = baseline_quantum_decoder(n_qubits, n_layers, rng);
+    Autoencoder::new(
+        format!("F-BQ-VAE({input_dim}d)"),
+        enc,
+        Latent::Gaussian(GaussianLatent::new(n_qubits, n_qubits, DEFAULT_KL_WEIGHT, rng)),
+        dec,
+    )
+}
+
+/// Hybrid baseline AE (H-BQ-AE): quantum halves plus a latent-width FC after
+/// the encoder and a full-width FC after the decoder, for original-scale
+/// data.
+pub fn h_bq_ae(input_dim: usize, n_layers: usize, rng: &mut impl Rng) -> Autoencoder {
+    let (mut enc, n_qubits) = baseline_quantum_encoder(input_dim, n_layers, rng);
+    enc.push_classical(Linear::new(n_qubits, n_qubits, rng));
+    let mut dec = baseline_quantum_decoder(n_qubits, n_layers, rng);
+    dec.push_classical(Linear::new(1 << n_qubits, input_dim, rng));
+    Autoencoder::new(format!("H-BQ-AE({input_dim}d)"), enc, Latent::Identity, dec)
+        .with_identity_latent_dim(n_qubits)
+}
+
+/// Hybrid baseline VAE (H-BQ-VAE).
+pub fn h_bq_vae(input_dim: usize, n_layers: usize, rng: &mut impl Rng) -> Autoencoder {
+    let (mut enc, n_qubits) = baseline_quantum_encoder(input_dim, n_layers, rng);
+    enc.push_classical(Linear::new(n_qubits, n_qubits, rng));
+    let mut dec = baseline_quantum_decoder(n_qubits, n_layers, rng);
+    dec.push_classical(Linear::new(1 << n_qubits, input_dim, rng));
+    Autoencoder::new(
+        format!("H-BQ-VAE({input_dim}d)"),
+        enc,
+        Latent::Gaussian(GaussianLatent::new(n_qubits, n_qubits, DEFAULT_KL_WEIGHT, rng)),
+        dec,
+    )
+}
+
+/// Scalable quantum AE (SQ-AE) with `p` patched sub-circuits (§III-C):
+/// patched amplitude encoder → latent FC → patched angle decoder →
+/// full-width FC.
+pub fn sq_ae(input_dim: usize, p: usize, n_layers: usize, rng: &mut impl Rng) -> Autoencoder {
+    let lsd = patched_latent_dim(input_dim, p);
+    let mut enc = HybridStack::new();
+    enc.push_quantum(PatchedQuantumLayer::amplitude_encoder(
+        input_dim, p, n_layers, rng,
+    ));
+    enc.push_classical(Linear::new(lsd, lsd, rng));
+    let mut dec = HybridStack::new();
+    dec.push_quantum(PatchedQuantumLayer::angle_decoder(lsd, p, n_layers, rng));
+    dec.push_classical(Linear::new(lsd, input_dim, rng));
+    Autoencoder::new(format!("SQ-AE(p={p},lsd={lsd})"), enc, Latent::Identity, dec)
+        .with_identity_latent_dim(lsd)
+}
+
+/// Scalable quantum VAE (SQ-VAE) with `p` patched sub-circuits.
+pub fn sq_vae(input_dim: usize, p: usize, n_layers: usize, rng: &mut impl Rng) -> Autoencoder {
+    let lsd = patched_latent_dim(input_dim, p);
+    let mut enc = HybridStack::new();
+    enc.push_quantum(PatchedQuantumLayer::amplitude_encoder(
+        input_dim, p, n_layers, rng,
+    ));
+    enc.push_classical(Linear::new(lsd, lsd, rng));
+    let mut dec = HybridStack::new();
+    dec.push_quantum(PatchedQuantumLayer::angle_decoder(lsd, p, n_layers, rng));
+    dec.push_classical(Linear::new(lsd, input_dim, rng));
+    Autoencoder::new(
+        format!("SQ-VAE(p={p},lsd={lsd})"),
+        enc,
+        Latent::Gaussian(GaussianLatent::new(lsd, lsd, DEFAULT_KL_WEIGHT, rng)),
+        dec,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sqvae_nn::Matrix;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn table1_quantum_counts_match_paper() {
+        let mut r = rng();
+        for mut m in [
+            f_bq_ae(64, BASELINE_LAYERS, &mut r),
+            f_bq_vae(64, BASELINE_LAYERS, &mut r),
+            h_bq_ae(64, BASELINE_LAYERS, &mut r),
+            h_bq_vae(64, BASELINE_LAYERS, &mut r),
+        ] {
+            assert_eq!(m.parameter_count().quantum, 108, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn table1_classical_counts() {
+        let mut r = rng();
+        assert_eq!(f_bq_ae(64, 3, &mut r).parameter_count().classical, 0);
+        assert_eq!(f_bq_vae(64, 3, &mut r).parameter_count().classical, 84);
+        assert_eq!(h_bq_ae(64, 3, &mut r).parameter_count().classical, 4202);
+        assert_eq!(h_bq_vae(64, 3, &mut r).parameter_count().classical, 4286);
+        // Classical VAE = AE + the two 6→6 Gaussian heads (84).
+        let ae = classical_ae(64, 6, &mut r).parameter_count().classical;
+        let vae = classical_vae(64, 6, &mut r).parameter_count().classical;
+        assert_eq!(vae - ae, 84);
+        assert_eq!(classical_ae(64, 6, &mut r).parameter_count().quantum, 0);
+    }
+
+    #[test]
+    fn classical_round_trip_shapes() {
+        let mut r = rng();
+        let mut m = classical_vae(64, 6, &mut r);
+        let x = Matrix::filled(4, 64, 0.5);
+        let y = m.reconstruct(&x).unwrap();
+        assert_eq!(y.shape(), (4, 64));
+        let mut rng2 = StdRng::seed_from_u64(1);
+        let s = m.sample(3, &mut rng2).unwrap();
+        assert_eq!(s.shape(), (3, 64));
+    }
+
+    #[test]
+    fn fully_quantum_round_trip_shapes() {
+        let mut r = rng();
+        let mut m = f_bq_vae(16, 2, &mut r);
+        let x = Matrix::filled(2, 16, 0.25);
+        let y = m.reconstruct(&x).unwrap();
+        assert_eq!(y.shape(), (2, 16));
+        // Probabilities: rows sum to 1.
+        for row in 0..2 {
+            let s: f64 = y.row(row).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hybrid_round_trip_shapes() {
+        let mut r = rng();
+        let mut m = h_bq_ae(16, 2, &mut r);
+        let x = Matrix::filled(2, 16, 1.5);
+        let y = m.reconstruct(&x).unwrap();
+        assert_eq!(y.shape(), (2, 16));
+        assert!(!m.is_variational());
+    }
+
+    #[test]
+    fn scalable_round_trip_shapes_and_lsd() {
+        let mut r = rng();
+        let mut m = sq_vae(64, 4, 2, &mut r);
+        assert_eq!(m.latent_dim(), patched_latent_dim(64, 4));
+        let x = Matrix::filled(2, 64, 0.5);
+        let y = m.reconstruct(&x).unwrap();
+        assert_eq!(y.shape(), (2, 64));
+        let mut rng2 = StdRng::seed_from_u64(5);
+        let s = m.sample(2, &mut rng2).unwrap();
+        assert_eq!(s.shape(), (2, 64));
+    }
+
+    #[test]
+    fn sq_models_have_both_param_groups() {
+        let mut r = rng();
+        let mut m = sq_ae(64, 2, 2, &mut r);
+        let pc = m.parameter_count();
+        assert!(pc.quantum > 0);
+        assert!(pc.classical > 0);
+        // Quantum: encoder + decoder, each 2 patches × 2 layers × 5 qubits
+        // × 3 angles = 60, so 120 total.
+        assert_eq!(pc.quantum, 120);
+    }
+
+    #[test]
+    fn names_are_informative() {
+        let mut r = rng();
+        assert!(sq_vae(1024, 8, 1, &mut r).name.contains("lsd=56"));
+        assert!(classical_ae(64, 6, &mut r).name.contains("lsd=6"));
+    }
+}

@@ -1,0 +1,440 @@
+//! A variational quantum circuit as a neural-network layer.
+//!
+//! The layer implements [`Module`], so classical and quantum stages
+//! backpropagate through each other exactly as the paper's hybrid
+//! architecture requires. Forward runs the statevector simulator per batch
+//! row; backward runs one adjoint pass per row against the upstream-weighted
+//! diagonal observable.
+
+use rand::Rng;
+use sqvae_nn::{init, Matrix, Module, NnError, ParamTensor};
+use sqvae_quantum::embed::{
+    amplitude_embedding, angle_embedding_gates, qubits_for_features, RotationAxis,
+};
+use sqvae_quantum::grad::adjoint;
+use sqvae_quantum::templates::{strongly_entangling_layers, EntangleRange};
+use sqvae_quantum::Circuit;
+
+/// How classical data enters the circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantumInput {
+    /// Amplitude embedding: `in_features ≤ 2^n_qubits` values become the
+    /// initial state (qubit-efficient; used by encoders). Inputs receive no
+    /// gradient (they are raw data).
+    Amplitude {
+        /// Width of the embedded feature vector.
+        in_features: usize,
+    },
+    /// Angle embedding: one `RY(x_i)` per wire (used by decoders); inputs
+    /// are differentiable.
+    Angle,
+}
+
+/// What measurement the layer returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantumOutput {
+    /// Per-wire `⟨Z⟩` — `n_qubits` outputs in [-1, 1].
+    ExpectationZ,
+    /// All basis-state probabilities — `2^n_qubits` outputs summing to 1.
+    Probabilities,
+}
+
+/// A strongly-entangling variational circuit behaving as a `Module`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use sqvae_core::{QuantumInput, QuantumLayer, QuantumOutput};
+/// use sqvae_nn::{Matrix, Module};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// // The paper's baseline encoder: 64 features → 6 qubits → 6 expectations.
+/// let mut enc = QuantumLayer::new(
+///     6, 3, QuantumInput::Amplitude { in_features: 64 },
+///     QuantumOutput::ExpectationZ, &mut rng,
+/// );
+/// assert_eq!(enc.parameter_count(), 54); // 3 layers × 6 qubits × 3 angles
+/// let x = Matrix::filled(2, 64, 0.5);
+/// let z = enc.forward(&x).unwrap();
+/// assert_eq!(z.shape(), (2, 6));
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuantumLayer {
+    circuit: Circuit,
+    input_mode: QuantumInput,
+    output_mode: QuantumOutput,
+    params: ParamTensor,
+    cached_input: Option<Matrix>,
+}
+
+impl QuantumLayer {
+    /// Builds a layer of `n_layers` strongly-entangling layers on `n_qubits`
+    /// wires with angles initialized uniformly in `[-π, π]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits` is outside the simulator's supported range, or
+    /// if an amplitude input's `in_features` exceeds `2^n_qubits`, or an
+    /// angle input is requested on zero qubits — all construction-time
+    /// configuration bugs.
+    pub fn new(
+        n_qubits: usize,
+        n_layers: usize,
+        input_mode: QuantumInput,
+        output_mode: QuantumOutput,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let mut circuit = Circuit::new(n_qubits).expect("valid register size");
+        if let QuantumInput::Amplitude { in_features } = input_mode {
+            assert!(
+                in_features <= 1 << n_qubits,
+                "amplitude embedding of {in_features} features needs {} qubits, have {n_qubits}",
+                qubits_for_features(in_features)
+            );
+        }
+        if matches!(input_mode, QuantumInput::Angle) {
+            circuit
+                .extend(angle_embedding_gates(n_qubits, RotationAxis::Y, 0))
+                .expect("embedding wires in range");
+        }
+        circuit
+            .extend(
+                strongly_entangling_layers(n_qubits, n_layers, 0, EntangleRange::Ring)
+                    .expect("template wires in range"),
+            )
+            .expect("template wires in range");
+        let params = ParamTensor::new(init::angle_uniform(1, circuit.n_params(), rng));
+        QuantumLayer {
+            circuit,
+            input_mode,
+            output_mode,
+            params,
+            cached_input: None,
+        }
+    }
+
+    /// Number of wires.
+    pub fn n_qubits(&self) -> usize {
+        self.circuit.n_qubits()
+    }
+
+    /// Width of the input this layer expects.
+    pub fn in_features(&self) -> usize {
+        match self.input_mode {
+            QuantumInput::Amplitude { in_features } => in_features,
+            QuantumInput::Angle => self.circuit.n_qubits(),
+        }
+    }
+
+    /// Width of the output this layer produces.
+    pub fn out_features(&self) -> usize {
+        match self.output_mode {
+            QuantumOutput::ExpectationZ => self.circuit.n_qubits(),
+            QuantumOutput::Probabilities => 1 << self.circuit.n_qubits(),
+        }
+    }
+
+    /// The input mode.
+    pub fn input_mode(&self) -> QuantumInput {
+        self.input_mode
+    }
+
+    /// The output mode.
+    pub fn output_mode(&self) -> QuantumOutput {
+        self.output_mode
+    }
+
+    fn check_width(&self, m: &Matrix) -> Result<(), NnError> {
+        if m.cols() != self.in_features() {
+            return Err(NnError::ShapeMismatch {
+                expected: (m.rows(), self.in_features()),
+                actual: m.shape(),
+            });
+        }
+        Ok(())
+    }
+
+    fn forward_row(&self, row: &[f64]) -> Vec<f64> {
+        let theta = self.params.value.as_slice();
+        let state = match self.input_mode {
+            QuantumInput::Amplitude { .. } => {
+                let init = match amplitude_embedding(row, self.circuit.n_qubits()) {
+                    Ok(s) => s,
+                    // All-zero row: embed |0…0⟩ instead (zero vectors carry
+                    // no information; this keeps training robust).
+                    Err(_) => sqvae_quantum::StateVector::zero_state(self.circuit.n_qubits())
+                        .expect("valid register"),
+                };
+                self.circuit
+                    .run(theta, &[], Some(&init))
+                    .expect("validated circuit")
+            }
+            QuantumInput::Angle => self
+                .circuit
+                .run(theta, row, None)
+                .expect("validated circuit"),
+        };
+        match self.output_mode {
+            QuantumOutput::ExpectationZ => self
+                .circuit
+                .expectations_z_all(&state)
+                .expect("same register"),
+            QuantumOutput::Probabilities => state.probabilities(),
+        }
+    }
+}
+
+impl Module for QuantumLayer {
+    fn forward(&mut self, input: &Matrix) -> Result<Matrix, NnError> {
+        self.check_width(input)?;
+        let mut out = Matrix::zeros(input.rows(), self.out_features());
+        for r in 0..input.rows() {
+            let y = self.forward_row(input.row(r));
+            out.row_mut(r).copy_from_slice(&y);
+        }
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, NnError> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward)?;
+        if grad_output.rows() != input.rows() || grad_output.cols() != self.out_features() {
+            return Err(NnError::ShapeMismatch {
+                expected: (input.rows(), self.out_features()),
+                actual: grad_output.shape(),
+            });
+        }
+        let theta = self.params.value.as_slice().to_vec();
+        let mut grad_input = Matrix::zeros(input.rows(), self.in_features());
+        for r in 0..input.rows() {
+            let row = input.row(r);
+            let upstream = grad_output.row(r);
+            let grads = match self.input_mode {
+                QuantumInput::Amplitude { .. } => {
+                    let init = match amplitude_embedding(row, self.circuit.n_qubits()) {
+                        Ok(s) => s,
+                        Err(_) => {
+                            sqvae_quantum::StateVector::zero_state(self.circuit.n_qubits())
+                                .expect("valid register")
+                        }
+                    };
+                    match self.output_mode {
+                        QuantumOutput::ExpectationZ => adjoint::backward_expectations_z(
+                            &self.circuit,
+                            &theta,
+                            &[],
+                            Some(&init),
+                            upstream,
+                        ),
+                        QuantumOutput::Probabilities => adjoint::backward_probabilities(
+                            &self.circuit,
+                            &theta,
+                            &[],
+                            Some(&init),
+                            upstream,
+                        ),
+                    }
+                }
+                QuantumInput::Angle => match self.output_mode {
+                    QuantumOutput::ExpectationZ => adjoint::backward_expectations_z(
+                        &self.circuit,
+                        &theta,
+                        row,
+                        None,
+                        upstream,
+                    ),
+                    QuantumOutput::Probabilities => adjoint::backward_probabilities(
+                        &self.circuit,
+                        &theta,
+                        row,
+                        None,
+                        upstream,
+                    ),
+                },
+            }
+            .expect("validated circuit");
+            for (i, g) in grads.params.iter().enumerate() {
+                let cur = self.params.grad.get(0, i);
+                self.params.grad.set(0, i, cur + g);
+            }
+            // Input gradients exist only for the differentiable angle
+            // embedding; amplitude-embedded raw data gets zeros.
+            if matches!(self.input_mode, QuantumInput::Angle) {
+                grad_input.row_mut(r).copy_from_slice(&grads.inputs);
+            }
+        }
+        Ok(grad_input)
+    }
+
+    fn parameters(&mut self) -> Vec<&mut ParamTensor> {
+        vec![&mut self.params]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn shapes_for_all_modes() {
+        let mut r = rng();
+        let amp = QuantumLayer::new(
+            3,
+            2,
+            QuantumInput::Amplitude { in_features: 8 },
+            QuantumOutput::ExpectationZ,
+            &mut r,
+        );
+        assert_eq!(amp.in_features(), 8);
+        assert_eq!(amp.out_features(), 3);
+        let ang = QuantumLayer::new(3, 2, QuantumInput::Angle, QuantumOutput::Probabilities, &mut r);
+        assert_eq!(ang.in_features(), 3);
+        assert_eq!(ang.out_features(), 8);
+    }
+
+    #[test]
+    fn forward_produces_bounded_outputs() {
+        let mut r = rng();
+        let mut layer = QuantumLayer::new(
+            3,
+            2,
+            QuantumInput::Amplitude { in_features: 8 },
+            QuantumOutput::ExpectationZ,
+            &mut r,
+        );
+        let x = Matrix::from_fn(4, 8, |i, j| (i * 8 + j) as f64 * 0.1 + 0.1);
+        let y = layer.forward(&x).unwrap();
+        for &v in y.as_slice() {
+            assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn probability_outputs_sum_to_one_per_row() {
+        let mut r = rng();
+        let mut layer =
+            QuantumLayer::new(3, 1, QuantumInput::Angle, QuantumOutput::Probabilities, &mut r);
+        let x = Matrix::from_fn(3, 3, |i, j| 0.2 * (i + j) as f64);
+        let y = layer.forward(&x).unwrap();
+        for row in 0..3 {
+            let s: f64 = y.row(row).iter().sum();
+            assert!((s - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_input_width() {
+        let mut r = rng();
+        let mut layer =
+            QuantumLayer::new(2, 1, QuantumInput::Angle, QuantumOutput::ExpectationZ, &mut r);
+        assert!(layer.forward(&Matrix::zeros(1, 5)).is_err());
+        assert!(layer.backward(&Matrix::zeros(1, 2)).is_err()); // before forward
+    }
+
+    #[test]
+    fn zero_row_amplitude_input_does_not_crash() {
+        let mut r = rng();
+        let mut layer = QuantumLayer::new(
+            2,
+            1,
+            QuantumInput::Amplitude { in_features: 4 },
+            QuantumOutput::ExpectationZ,
+            &mut r,
+        );
+        let x = Matrix::zeros(1, 4);
+        let y = layer.forward(&x).unwrap();
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+        let g = layer.backward(&Matrix::filled(1, 2, 1.0)).unwrap();
+        assert!(g.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn param_gradients_match_finite_differences() {
+        let mut r = rng();
+        let mut layer = QuantumLayer::new(
+            2,
+            1,
+            QuantumInput::Amplitude { in_features: 4 },
+            QuantumOutput::ExpectationZ,
+            &mut r,
+        );
+        let x = Matrix::from_rows(&[&[0.1, 0.4, 0.2, 0.3], &[0.5, 0.1, 0.1, 0.3]]).unwrap();
+        // Loss = sum of outputs.
+        let y = layer.forward(&x).unwrap();
+        let base = y.sum();
+        let ones = Matrix::filled(2, 2, 1.0);
+        layer.backward(&ones).unwrap();
+        let eps = 1e-6;
+        for k in 0..layer.params.len() {
+            let mut pert = layer.clone();
+            let v = pert.params.value.get(0, k);
+            pert.params.value.set(0, k, v + eps);
+            let fp = pert.forward(&x).unwrap().sum();
+            let fd = (fp - base) / eps;
+            let an = layer.params.grad.get(0, k);
+            assert!((an - fd).abs() < 1e-4, "param {k}: {an} vs {fd}");
+        }
+    }
+
+    #[test]
+    fn input_gradients_flow_through_angle_embedding() {
+        let mut r = rng();
+        let mut layer =
+            QuantumLayer::new(2, 1, QuantumInput::Angle, QuantumOutput::ExpectationZ, &mut r);
+        let x = Matrix::from_rows(&[&[0.3, -0.6]]).unwrap();
+        let y = layer.forward(&x).unwrap();
+        let base = y.sum();
+        let gin = layer.backward(&Matrix::filled(1, 2, 1.0)).unwrap();
+        let eps = 1e-6;
+        for c in 0..2 {
+            let mut xp = x.clone();
+            xp.set(0, c, x.get(0, c) + eps);
+            let mut l2 = layer.clone();
+            l2.cached_input = None;
+            let fp = l2.forward(&xp).unwrap().sum();
+            let fd = (fp - base) / eps;
+            assert!((gin.get(0, c) - fd).abs() < 1e-4, "input {c}");
+        }
+    }
+
+    #[test]
+    fn amplitude_input_gradient_is_zero() {
+        let mut r = rng();
+        let mut layer = QuantumLayer::new(
+            2,
+            1,
+            QuantumInput::Amplitude { in_features: 4 },
+            QuantumOutput::ExpectationZ,
+            &mut r,
+        );
+        layer.forward(&Matrix::filled(1, 4, 0.5)).unwrap();
+        let g = layer.backward(&Matrix::filled(1, 2, 1.0)).unwrap();
+        assert_eq!(g.frobenius_norm(), 0.0);
+    }
+
+    #[test]
+    fn paper_parameter_count() {
+        // 3 layers × 6 qubits × 3 = 54 per network; ×2 networks = 108.
+        let mut r = rng();
+        let mut enc = QuantumLayer::new(
+            6,
+            3,
+            QuantumInput::Amplitude { in_features: 64 },
+            QuantumOutput::ExpectationZ,
+            &mut r,
+        );
+        let mut dec =
+            QuantumLayer::new(6, 3, QuantumInput::Angle, QuantumOutput::Probabilities, &mut r);
+        assert_eq!(enc.parameter_count() + dec.parameter_count(), 108);
+    }
+}

@@ -1,0 +1,68 @@
+//! Property-based invariants of the autoencoder pipeline.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sqvae_core::{models, ParamGroup, TrainConfig, Trainer};
+use sqvae_datasets::Dataset;
+use sqvae_nn::Matrix;
+
+fn arb_batch(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(0.0..4.0f64, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v).expect("sized"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every model variant reconstructs to the input shape.
+    #[test]
+    fn reconstruction_preserves_shape(x in arb_batch(2, 16), seed in 0u64..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for mut model in [
+            models::classical_ae(16, 4, &mut rng),
+            models::classical_vae(16, 4, &mut rng),
+            models::f_bq_ae(16, 1, &mut rng),
+            models::h_bq_vae(16, 1, &mut rng),
+            models::sq_ae(16, 2, 1, &mut rng),
+        ] {
+            let y = model.reconstruct(&x).unwrap();
+            prop_assert_eq!(y.shape(), x.shape(), "{}", model.name);
+            prop_assert!(y.as_slice().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    /// One optimizer step with a tiny LR never produces NaNs.
+    #[test]
+    fn training_step_keeps_parameters_finite(x in arb_batch(4, 16), seed in 0u64..20) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model = models::sq_vae(16, 2, 1, &mut rng);
+        let data = Dataset::from_samples(
+            (0..x.rows()).map(|r| x.row(r).to_vec()).collect(),
+        ).unwrap();
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 1,
+            batch_size: 4,
+            quantum_lr: 0.001,
+            classical_lr: 0.001,
+            ..TrainConfig::default()
+        });
+        let hist = trainer.train(&mut model, &data, None).unwrap();
+        prop_assert!(hist.final_train_mse().unwrap().is_finite());
+        for p in model.parameters_of(ParamGroup::Quantum) {
+            prop_assert!(p.value.as_slice().iter().all(|v| v.is_finite()));
+        }
+        for p in model.parameters_of(ParamGroup::Classical) {
+            prop_assert!(p.value.as_slice().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    /// VAE sampling always yields the data width, for any latent seed.
+    #[test]
+    fn sampling_width_is_stable(seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model = models::sq_vae(16, 2, 1, &mut rng);
+        let s = model.sample(3, &mut rng).unwrap();
+        prop_assert_eq!(s.shape(), (3, 16));
+    }
+}

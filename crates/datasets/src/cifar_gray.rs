@@ -1,0 +1,185 @@
+//! Synthetic 32×32 grayscale image dataset.
+//!
+//! **Substitution note** (DESIGN.md §3): stands in for grayscale CIFAR-10
+//! (paper Fig. 8(b–c)). Ten procedural texture classes (gradients, stripes,
+//! blobs, rings, checkers, …) provide class-conditional 32×32 intensity
+//! structure in `[0, 1]`, which is all the reconstruction-loss experiments
+//! consume.
+
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::f64::consts::PI;
+
+/// Image side length.
+pub const IMAGE_SIZE: usize = 32;
+
+/// Configuration for the grayscale-image generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CifarGrayConfig {
+    /// Number of images (classes cycle 0..9).
+    pub n_samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CifarGrayConfig {
+    fn default() -> Self {
+        CifarGrayConfig {
+            n_samples: 500,
+            seed: 31,
+        }
+    }
+}
+
+/// Renders one image of the given class; values in `[0, 1]`.
+pub fn render_image(class: usize, rng: &mut impl Rng) -> Vec<f64> {
+    assert!(class < 10, "image class must be 0..10");
+    let n = IMAGE_SIZE;
+    let phase: f64 = rng.gen_range(0.0..(2.0 * PI));
+    let freq: f64 = rng.gen_range(1.0..3.0);
+    let cx: f64 = rng.gen_range(10.0..22.0);
+    let cy: f64 = rng.gen_range(10.0..22.0);
+    let spread: f64 = rng.gen_range(4.0..9.0);
+    let mut img = Vec::with_capacity(n * n);
+    for r in 0..n {
+        for c in 0..n {
+            let x = c as f64;
+            let y = r as f64;
+            let u = x / (n - 1) as f64;
+            let v = y / (n - 1) as f64;
+            let value = match class {
+                0 => u,                                            // horizontal gradient
+                1 => v,                                            // vertical gradient
+                2 => 0.5 + 0.5 * ((u + v) * freq * PI * 2.0 + phase).sin(), // diagonal stripes
+                3 => {
+                    // checkerboard
+                    let k = (freq * 2.0).round().max(2.0);
+                    let s = ((u * k).floor() + (v * k).floor()) as i64;
+                    if s % 2 == 0 {
+                        0.85
+                    } else {
+                        0.15
+                    }
+                }
+                4 => {
+                    // centered blob
+                    let d2 = (x - cx).powi(2) + (y - cy).powi(2);
+                    (-d2 / (2.0 * spread * spread)).exp()
+                }
+                5 => {
+                    // two blobs
+                    let d1 = (x - cx).powi(2) + (y - cy).powi(2);
+                    let d2 = (x - (n as f64 - cx)).powi(2) + (y - (n as f64 - cy)).powi(2);
+                    ((-d1 / (2.0 * spread * spread)).exp()
+                        + (-d2 / (2.0 * spread * spread)).exp())
+                    .min(1.0)
+                }
+                6 => {
+                    // concentric rings
+                    let d = ((x - cx).powi(2) + (y - cy).powi(2)).sqrt();
+                    0.5 + 0.5 * (d / spread * PI + phase).sin()
+                }
+                7 => 0.5 + 0.5 * (v * freq * PI * 4.0 + phase).sin(), // horizontal bands
+                8 => {
+                    // radial gradient
+                    let d = ((x - cx).powi(2) + (y - cy).powi(2)).sqrt();
+                    (1.0 - d / (n as f64 * 0.75)).clamp(0.0, 1.0)
+                }
+                _ => {
+                    // smooth low-frequency noise field
+                    0.5 + 0.25 * (u * freq * PI * 2.0 + phase).sin()
+                        + 0.25 * (v * (freq + 1.0) * PI * 2.0 - phase).cos()
+                }
+            };
+            img.push(value.clamp(0.0, 1.0));
+        }
+    }
+    // Pixel noise.
+    for p in &mut img {
+        *p = (*p + rng.gen_range(-0.04..0.04)).clamp(0.0, 1.0);
+    }
+    img
+}
+
+/// Generates the dataset (classes cycle deterministically through 0..9).
+///
+/// # Examples
+///
+/// ```
+/// use sqvae_datasets::cifar_gray::{generate, CifarGrayConfig};
+///
+/// let ds = generate(&CifarGrayConfig { n_samples: 10, seed: 0 });
+/// assert_eq!(ds.width(), 1024);
+/// ```
+pub fn generate(cfg: &CifarGrayConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let samples = (0..cfg.n_samples)
+        .map(|i| render_image(i % 10, &mut rng))
+        .collect();
+    Dataset::from_samples(samples).expect("n_samples > 0 produces a dataset")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_range() {
+        let ds = generate(&CifarGrayConfig {
+            n_samples: 20,
+            seed: 1,
+        });
+        assert_eq!(ds.len(), 20);
+        assert_eq!(ds.width(), 1024);
+        for s in ds.samples() {
+            for &v in s {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn classes_have_distinct_statistics() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // Horizontal vs vertical gradient: column-mean profile differs.
+        let h = render_image(0, &mut rng);
+        let v = render_image(1, &mut rng);
+        let col_slope = |img: &[f64]| {
+            let first: f64 = (0..IMAGE_SIZE).map(|r| img[r * IMAGE_SIZE]).sum::<f64>();
+            let last: f64 = (0..IMAGE_SIZE)
+                .map(|r| img[r * IMAGE_SIZE + IMAGE_SIZE - 1])
+                .sum::<f64>();
+            last - first
+        };
+        assert!(col_slope(&h) > 10.0, "horizontal gradient should rise");
+        assert!(col_slope(&v).abs() < 5.0, "vertical gradient is flat by column");
+    }
+
+    #[test]
+    fn every_class_renders() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for class in 0..10 {
+            let img = render_image(class, &mut rng);
+            let mean: f64 = img.iter().sum::<f64>() / img.len() as f64;
+            assert!(mean > 0.01 && mean < 0.99, "class {class} degenerate: {mean}");
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let cfg = CifarGrayConfig {
+            n_samples: 6,
+            seed: 7,
+        };
+        assert_eq!(generate(&cfg), generate(&cfg));
+    }
+
+    #[test]
+    #[should_panic(expected = "image class")]
+    fn rejects_bad_class() {
+        let mut rng = StdRng::seed_from_u64(0);
+        render_image(11, &mut rng);
+    }
+}

@@ -1,0 +1,260 @@
+//! Dataset container, splitting, and batching.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// An in-memory dataset of flat feature vectors of uniform width.
+///
+/// # Examples
+///
+/// ```
+/// use sqvae_datasets::Dataset;
+///
+/// let ds = Dataset::from_samples(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.width(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    samples: Vec<Vec<f64>>,
+    width: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset, validating uniform sample width.
+    ///
+    /// Returns `None` when `samples` is empty or widths are ragged.
+    pub fn from_samples(samples: Vec<Vec<f64>>) -> Option<Self> {
+        let width = samples.first()?.len();
+        if width == 0 || samples.iter().any(|s| s.len() != width) {
+            return None;
+        }
+        Some(Dataset { samples, width })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Feature-vector width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Borrow of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len()`.
+    pub fn sample(&self, i: usize) -> &[f64] {
+        &self.samples[i]
+    }
+
+    /// All samples.
+    pub fn samples(&self) -> &[Vec<f64>] {
+        &self.samples
+    }
+
+    /// Deterministic shuffled train/test split (the paper uses 85%/15% for
+    /// PDBbind, §IV-A).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `train_fraction` is outside `(0, 1]`.
+    pub fn shuffle_split(&self, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!(
+            train_fraction > 0.0 && train_fraction <= 1.0,
+            "train_fraction must be in (0, 1]"
+        );
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        let n_train = ((self.len() as f64) * train_fraction).round() as usize;
+        let n_train = n_train.clamp(1, self.len());
+        let take = |ids: &[usize]| Dataset {
+            samples: ids.iter().map(|&i| self.samples[i].clone()).collect(),
+            width: self.width,
+        };
+        (take(&idx[..n_train]), take(&idx[n_train..]))
+    }
+
+    /// Mini-batches of row slices in order; the final batch may be short.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch_size == 0`.
+    pub fn batches(&self, batch_size: usize) -> Vec<Vec<&[f64]>> {
+        assert!(batch_size > 0, "batch size must be positive");
+        self.samples
+            .chunks(batch_size)
+            .map(|chunk| chunk.iter().map(|s| s.as_slice()).collect())
+            .collect()
+    }
+
+    /// A deterministically shuffled copy (fresh epoch order).
+    pub fn shuffled(&self, seed: u64) -> Dataset {
+        let mut samples = self.samples.clone();
+        let mut rng = StdRng::seed_from_u64(seed);
+        samples.shuffle(&mut rng);
+        Dataset {
+            samples,
+            width: self.width,
+        }
+    }
+
+    /// The first `n` samples (or all, if fewer).
+    pub fn take(&self, n: usize) -> Dataset {
+        Dataset {
+            samples: self.samples.iter().take(n).cloned().collect(),
+            width: self.width,
+        }
+    }
+
+    /// Applies L1 normalization per sample ("directly dividing each
+    /// non-negative feature value by their sum", §III-B of the paper).
+    /// Zero-norm samples are left untouched.
+    pub fn l1_normalized(&self) -> Dataset {
+        let samples = self
+            .samples
+            .iter()
+            .map(|s| {
+                let norm: f64 = s.iter().map(|x| x.abs()).sum();
+                if norm == 0.0 {
+                    s.clone()
+                } else {
+                    s.iter().map(|x| x / norm).collect()
+                }
+            })
+            .collect();
+        Dataset {
+            samples,
+            width: self.width,
+        }
+    }
+
+    /// Rescales every feature by `1/scale` (e.g. images 0..16 → 0..1).
+    pub fn scaled(&self, scale: f64) -> Dataset {
+        Dataset {
+            samples: self
+                .samples
+                .iter()
+                .map(|s| s.iter().map(|x| x / scale).collect())
+                .collect(),
+            width: self.width,
+        }
+    }
+
+    /// Per-feature mean vector.
+    pub fn feature_means(&self) -> Vec<f64> {
+        let mut means = vec![0.0; self.width];
+        for s in &self.samples {
+            for (m, &x) in means.iter_mut().zip(s) {
+                *m += x;
+            }
+        }
+        let n = self.len().max(1) as f64;
+        means.iter_mut().for_each(|m| *m /= n);
+        means
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        Dataset::from_samples((0..n).map(|i| vec![i as f64, 1.0]).collect()).unwrap()
+    }
+
+    #[test]
+    fn from_samples_validates() {
+        assert!(Dataset::from_samples(vec![]).is_none());
+        assert!(Dataset::from_samples(vec![vec![]]).is_none());
+        assert!(Dataset::from_samples(vec![vec![1.0], vec![1.0, 2.0]]).is_none());
+        assert!(Dataset::from_samples(vec![vec![1.0], vec![2.0]]).is_some());
+    }
+
+    #[test]
+    fn split_ratio_and_determinism() {
+        let ds = toy(100);
+        let (train, test) = ds.shuffle_split(0.85, 7);
+        assert_eq!(train.len(), 85);
+        assert_eq!(test.len(), 15);
+        let (train2, _) = ds.shuffle_split(0.85, 7);
+        assert_eq!(train, train2);
+        let (train3, _) = ds.shuffle_split(0.85, 8);
+        assert_ne!(train, train3);
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let ds = toy(20);
+        let (train, test) = ds.shuffle_split(0.7, 1);
+        let mut all: Vec<f64> = train
+            .samples()
+            .iter()
+            .chain(test.samples())
+            .map(|s| s[0])
+            .collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expected: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn batching_covers_everything() {
+        let ds = toy(10);
+        let batches = ds.batches(3);
+        assert_eq!(batches.len(), 4);
+        assert_eq!(batches[0].len(), 3);
+        assert_eq!(batches[3].len(), 1);
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn l1_normalization_sums_to_one() {
+        let ds = Dataset::from_samples(vec![vec![2.0, 2.0], vec![0.0, 0.0]]).unwrap();
+        let n = ds.l1_normalized();
+        assert_eq!(n.sample(0), &[0.5, 0.5]);
+        assert_eq!(n.sample(1), &[0.0, 0.0]); // zero-norm untouched
+    }
+
+    #[test]
+    fn scaling() {
+        let ds = Dataset::from_samples(vec![vec![16.0, 8.0]]).unwrap();
+        assert_eq!(ds.scaled(16.0).sample(0), &[1.0, 0.5]);
+    }
+
+    #[test]
+    fn shuffled_is_permutation() {
+        let ds = toy(12);
+        let sh = ds.shuffled(3);
+        assert_ne!(ds.samples(), sh.samples());
+        let mut a: Vec<f64> = ds.samples().iter().map(|s| s[0]).collect();
+        let mut b: Vec<f64> = sh.samples().iter().map(|s| s[0]).collect();
+        a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn take_truncates() {
+        let ds = toy(5);
+        assert_eq!(ds.take(3).len(), 3);
+        assert_eq!(ds.take(99).len(), 5);
+    }
+
+    #[test]
+    fn feature_means() {
+        let ds = Dataset::from_samples(vec![vec![1.0, 3.0], vec![3.0, 5.0]]).unwrap();
+        assert_eq!(ds.feature_means(), vec![2.0, 4.0]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Synthetic 8×8 digits dataset.
+//!
+//! **Substitution note** (DESIGN.md §3): stands in for scikit-learn's
+//! `load_digits` (used by the paper's Fig. 4 image experiments). Ten glyph
+//! templates are rendered at 8×8 with per-sample jitter (±1 px shifts),
+//! intensity scaling, and background noise, producing the same 0–16 gray
+//! scale and class structure.
+
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Image side length.
+pub const DIGIT_SIZE: usize = 8;
+/// Maximum intensity (scikit-learn digits use 0..16).
+pub const MAX_INTENSITY: f64 = 16.0;
+
+/// Glyph templates: `#` marks foreground pixels.
+const GLYPHS: [[&str; 8]; 10] = [
+    [
+        "..####..", ".##..##.", ".##..##.", ".##..##.", ".##..##.", ".##..##.", "..####..",
+        "........",
+    ],
+    [
+        "...##...", "..###...", ".####...", "...##...", "...##...", "...##...", ".######.",
+        "........",
+    ],
+    [
+        "..####..", ".##..##.", ".....##.", "....##..", "...##...", "..##....", ".######.",
+        "........",
+    ],
+    [
+        "..####..", ".##..##.", ".....##.", "...###..", ".....##.", ".##..##.", "..####..",
+        "........",
+    ],
+    [
+        "....##..", "...###..", "..####..", ".##.##..", ".######.", "....##..", "....##..",
+        "........",
+    ],
+    [
+        ".######.", ".##.....", ".#####..", ".....##.", ".....##.", ".##..##.", "..####..",
+        "........",
+    ],
+    [
+        "..####..", ".##.....", ".##.....", ".#####..", ".##..##.", ".##..##.", "..####..",
+        "........",
+    ],
+    [
+        ".######.", ".....##.", "....##..", "...##...", "..##....", "..##....", "..##....",
+        "........",
+    ],
+    [
+        "..####..", ".##..##.", ".##..##.", "..####..", ".##..##.", ".##..##.", "..####..",
+        "........",
+    ],
+    [
+        "..####..", ".##..##.", ".##..##.", "..#####.", ".....##.", ".....##.", "..####..",
+        "........",
+    ],
+];
+
+/// Configuration for the digits generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DigitsConfig {
+    /// Number of images (classes cycle 0..9).
+    pub n_samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DigitsConfig {
+    fn default() -> Self {
+        DigitsConfig {
+            n_samples: 500,
+            seed: 29,
+        }
+    }
+}
+
+/// Renders one digit image with jitter and noise; values in `0..=16`.
+pub fn render_digit(class: usize, rng: &mut impl Rng) -> Vec<f64> {
+    assert!(class < 10, "digit class must be 0..10");
+    let glyph = &GLYPHS[class];
+    let dx: isize = rng.gen_range(-1..=1);
+    let dy: isize = rng.gen_range(-1..=1);
+    let peak = rng.gen_range(11.0..=MAX_INTENSITY);
+    let mut img = vec![0.0f64; DIGIT_SIZE * DIGIT_SIZE];
+    for (r, row) in glyph.iter().enumerate() {
+        for (c, ch) in row.bytes().enumerate() {
+            if ch == b'#' {
+                let rr = r as isize + dy;
+                let cc = c as isize + dx;
+                if (0..DIGIT_SIZE as isize).contains(&rr)
+                    && (0..DIGIT_SIZE as isize).contains(&cc)
+                {
+                    let fade = rng.gen_range(0.75..=1.0);
+                    img[rr as usize * DIGIT_SIZE + cc as usize] = (peak * fade).round();
+                }
+            }
+        }
+    }
+    for v in &mut img {
+        if *v == 0.0 && rng.gen_bool(0.06) {
+            *v = rng.gen_range(1.0..=3.0f64).round();
+        }
+    }
+    img
+}
+
+/// Generates the dataset (labels cycle deterministically through 0..9).
+///
+/// # Examples
+///
+/// ```
+/// use sqvae_datasets::digits::{generate, DigitsConfig};
+///
+/// let ds = generate(&DigitsConfig { n_samples: 20, seed: 0 });
+/// assert_eq!(ds.width(), 64);
+/// ```
+pub fn generate(cfg: &DigitsConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let samples = (0..cfg.n_samples)
+        .map(|i| render_digit(i % 10, &mut rng))
+        .collect();
+    Dataset::from_samples(samples).expect("n_samples > 0 produces a dataset")
+}
+
+/// The class label of sample `i` under [`generate`]'s cycling order.
+pub fn label_of(index: usize) -> usize {
+    index % 10
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_range() {
+        let ds = generate(&DigitsConfig {
+            n_samples: 30,
+            seed: 1,
+        });
+        assert_eq!(ds.len(), 30);
+        assert_eq!(ds.width(), 64);
+        for s in ds.samples() {
+            for &v in s {
+                assert!((0.0..=MAX_INTENSITY).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn digits_have_foreground() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for class in 0..10 {
+            let img = render_digit(class, &mut rng);
+            let lit = img.iter().filter(|&&v| v > 5.0).count();
+            assert!(lit >= 10, "class {class} only lit {lit} pixels");
+        }
+    }
+
+    #[test]
+    fn classes_are_distinguishable() {
+        // Mean images of distinct classes should differ substantially.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mean_img = |class: usize, rng: &mut StdRng| {
+            let mut acc = vec![0.0; 64];
+            for _ in 0..20 {
+                for (a, v) in acc.iter_mut().zip(render_digit(class, rng)) {
+                    *a += v / 20.0;
+                }
+            }
+            acc
+        };
+        let m0 = mean_img(0, &mut rng);
+        let m1 = mean_img(1, &mut rng);
+        let dist: f64 = m0
+            .iter()
+            .zip(&m1)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        assert!(dist > 10.0, "classes 0 and 1 too similar: {dist}");
+    }
+
+    #[test]
+    fn determinism_and_labels() {
+        let cfg = DigitsConfig {
+            n_samples: 12,
+            seed: 4,
+        };
+        assert_eq!(generate(&cfg), generate(&cfg));
+        assert_eq!(label_of(0), 0);
+        assert_eq!(label_of(13), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "digit class")]
+    fn render_rejects_bad_class() {
+        let mut rng = StdRng::seed_from_u64(0);
+        render_digit(10, &mut rng);
+    }
+}

@@ -1,0 +1,96 @@
+//! Dataset statistics used by experiments and tests.
+
+use sqvae_chem::{BondOrder, Element, Molecule};
+use std::collections::BTreeMap;
+
+/// Summary statistics over a set of molecules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MoleculeStats {
+    /// Number of molecules.
+    pub count: usize,
+    /// Mean heavy-atom count.
+    pub mean_atoms: f64,
+    /// Mean bond count.
+    pub mean_bonds: f64,
+    /// Element frequency (fraction of all heavy atoms).
+    pub element_fractions: BTreeMap<&'static str, f64>,
+    /// Bond-order frequency (fraction of all bonds).
+    pub bond_fractions: BTreeMap<&'static str, f64>,
+    /// Fraction of molecules containing at least one ring.
+    pub ring_fraction: f64,
+}
+
+/// Computes summary statistics (empty input → zeroed stats).
+pub fn molecule_stats(mols: &[Molecule]) -> MoleculeStats {
+    let count = mols.len();
+    let mut atoms = 0usize;
+    let mut bonds = 0usize;
+    let mut elem: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut bord: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut ringy = 0usize;
+    for m in mols {
+        atoms += m.n_atoms();
+        bonds += m.n_bonds();
+        for e in Element::ALL {
+            *elem.entry(e.symbol()).or_insert(0) += m.count_element(e);
+        }
+        for b in m.bonds() {
+            let name = match b.order {
+                BondOrder::Single => "single",
+                BondOrder::Double => "double",
+                BondOrder::Triple => "triple",
+                BondOrder::Aromatic => "aromatic",
+            };
+            *bord.entry(name).or_insert(0) += 1;
+        }
+        if sqvae_chem::rings::ring_count(m) > 0 {
+            ringy += 1;
+        }
+    }
+    let denom_atoms = atoms.max(1) as f64;
+    let denom_bonds = bonds.max(1) as f64;
+    MoleculeStats {
+        count,
+        mean_atoms: atoms as f64 / count.max(1) as f64,
+        mean_bonds: bonds as f64 / count.max(1) as f64,
+        element_fractions: elem
+            .into_iter()
+            .map(|(k, v)| (k, v as f64 / denom_atoms))
+            .collect(),
+        bond_fractions: bord
+            .into_iter()
+            .map(|(k, v)| (k, v as f64 / denom_bonds))
+            .collect(),
+        ring_fraction: ringy as f64 / count.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::molgen::{grow_molecule, GrowthConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stats_on_generated_qm9() {
+        let cfg = GrowthConfig::qm9_like();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mols: Vec<Molecule> = (0..200).map(|_| grow_molecule(&cfg, &mut rng)).collect();
+        let s = molecule_stats(&mols);
+        assert_eq!(s.count, 200);
+        assert!(s.mean_atoms >= 4.0 && s.mean_atoms <= 8.0);
+        let c_frac = s.element_fractions["C"];
+        assert!(c_frac > 0.5, "carbon fraction {c_frac}");
+        let single = s.bond_fractions.get("single").copied().unwrap_or(0.0);
+        assert!(single > 0.4, "single-bond fraction {single}");
+    }
+
+    #[test]
+    fn empty_input_is_zeroed() {
+        let s = molecule_stats(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean_atoms, 0.0);
+        assert_eq!(s.ring_fraction, 0.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Weight initialization.
+//!
+//! All initializers take an explicit RNG so every experiment in the
+//! reproduction is deterministic given its seed.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// Uniform initialization over `[-limit, limit]`.
+pub fn uniform(rows: usize, cols: usize, limit: f64, rng: &mut impl Rng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-limit..=limit))
+}
+
+/// Xavier/Glorot uniform initialization: `limit = sqrt(6 / (fan_in + fan_out))`.
+///
+/// Used for the classical linear layers (the PyTorch default family the
+/// paper's classical baselines rely on).
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Matrix {
+    let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
+    uniform(fan_in, fan_out, limit, rng)
+}
+
+/// He/Kaiming uniform initialization: `limit = sqrt(6 / fan_in)` (for ReLU
+/// stacks).
+pub fn he_uniform(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Matrix {
+    let limit = (6.0 / fan_in as f64).sqrt();
+    uniform(fan_in, fan_out, limit, rng)
+}
+
+/// Quantum rotation-angle initialization: uniform over `[-π, π]`, the full
+/// parameter range the paper contrasts with the "much more vast" classical
+/// parameter space (§III-C).
+pub fn angle_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    uniform(rows, cols, std::f64::consts::PI, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = xavier_uniform(64, 32, &mut rng);
+        let limit = (6.0 / 96.0f64).sqrt();
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= limit));
+        assert_eq!(m.shape(), (64, 32));
+    }
+
+    #[test]
+    fn he_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = he_uniform(16, 8, &mut rng);
+        let limit = (6.0 / 16.0f64).sqrt();
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= limit));
+    }
+
+    #[test]
+    fn angle_uniform_covers_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = angle_uniform(40, 25, &mut rng);
+        let max = m.as_slice().iter().cloned().fold(f64::MIN, f64::max);
+        let min = m.as_slice().iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max <= std::f64::consts::PI && min >= -std::f64::consts::PI);
+        // With 1000 samples we should see values beyond ±π/2.
+        assert!(max > std::f64::consts::FRAC_PI_2);
+        assert!(min < -std::f64::consts::FRAC_PI_2);
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(42));
+        let b = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,186 @@
+//! Loss functions with analytic gradients.
+//!
+//! The paper's objective is the negative ELBO: an MSE reconstruction term
+//! plus (for VAEs) the KL divergence between the approximate Gaussian
+//! posterior and the standard-normal prior (§II-B).
+
+use crate::error::{NnError, Result};
+use crate::matrix::Matrix;
+
+/// Mean-squared-error loss and its gradient with respect to `pred`.
+///
+/// The mean is taken over every element (batch × features), matching the
+/// paper's reported "train MSE loss" curves.
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] for different shapes.
+///
+/// # Examples
+///
+/// ```
+/// use sqvae_nn::{loss, Matrix};
+///
+/// let pred = Matrix::from_rows(&[&[1.0, 2.0]])?;
+/// let target = Matrix::from_rows(&[&[0.0, 4.0]])?;
+/// let (l, grad) = loss::mse(&pred, &target)?;
+/// assert!((l - (1.0 + 4.0) / 2.0).abs() < 1e-12);
+/// assert_eq!(grad.shape(), (1, 2));
+/// # Ok::<(), sqvae_nn::NnError>(())
+/// ```
+pub fn mse(pred: &Matrix, target: &Matrix) -> Result<(f64, Matrix)> {
+    if pred.shape() != target.shape() {
+        return Err(NnError::ShapeMismatch {
+            expected: pred.shape(),
+            actual: target.shape(),
+        });
+    }
+    let n = pred.len() as f64;
+    let diff = pred.sub(target)?;
+    let loss = diff.as_slice().iter().map(|d| d * d).sum::<f64>() / n;
+    let grad = diff.scale(2.0 / n);
+    Ok((loss, grad))
+}
+
+/// KL divergence `D_KL(N(μ, σ²) ‖ N(0, I))`, mean over the batch, with
+/// gradients with respect to `mu` and `logvar`.
+///
+/// Per sample: `-½ Σ_j (1 + logvar_j − μ_j² − e^{logvar_j})`.
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] for different shapes.
+pub fn gaussian_kl(mu: &Matrix, logvar: &Matrix) -> Result<(f64, Matrix, Matrix)> {
+    if mu.shape() != logvar.shape() {
+        return Err(NnError::ShapeMismatch {
+            expected: mu.shape(),
+            actual: logvar.shape(),
+        });
+    }
+    let batch = mu.rows().max(1) as f64;
+    let mut total = 0.0;
+    for (m, lv) in mu.as_slice().iter().zip(logvar.as_slice()) {
+        total += -0.5 * (1.0 + lv - m * m - lv.exp());
+    }
+    let loss = total / batch;
+    let grad_mu = mu.scale(1.0 / batch);
+    let grad_logvar = logvar.map(|lv| 0.5 * (lv.exp() - 1.0) / batch);
+    Ok((loss, grad_mu, grad_logvar))
+}
+
+/// Binary cross-entropy with logits clamped for numerical stability; returns
+/// the loss and its gradient with respect to `pred` (probabilities).
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] for different shapes.
+pub fn binary_cross_entropy(pred: &Matrix, target: &Matrix) -> Result<(f64, Matrix)> {
+    if pred.shape() != target.shape() {
+        return Err(NnError::ShapeMismatch {
+            expected: pred.shape(),
+            actual: target.shape(),
+        });
+    }
+    const EPS: f64 = 1e-12;
+    let n = pred.len() as f64;
+    let mut total = 0.0;
+    for (p, t) in pred.as_slice().iter().zip(target.as_slice()) {
+        let p = p.clamp(EPS, 1.0 - EPS);
+        total += -(t * p.ln() + (1.0 - t) * (1.0 - p).ln());
+    }
+    let grad = pred.zip_map(target, |p, t| {
+        let p = p.clamp(EPS, 1.0 - EPS);
+        ((1.0 - t) / (1.0 - p) - t / p) / n
+    });
+    Ok((total / n, grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_for_equal_inputs() {
+        let a = Matrix::filled(2, 3, 1.5);
+        let (l, g) = mse(&a, &a).unwrap();
+        assert_eq!(l, 0.0);
+        assert_eq!(g.frobenius_norm(), 0.0);
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let pred = Matrix::from_rows(&[&[0.3, -0.7], &[1.2, 0.1]]).unwrap();
+        let target = Matrix::from_rows(&[&[0.0, 0.5], &[1.0, -0.2]]).unwrap();
+        let (base, grad) = mse(&pred, &target).unwrap();
+        let eps = 1e-7;
+        for (r, c) in [(0, 0), (1, 1)] {
+            let mut p = pred.clone();
+            p.set(r, c, pred.get(r, c) + eps);
+            let (lp, _) = mse(&p, &target).unwrap();
+            assert!((grad.get(r, c) - (lp - base) / eps).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn mse_shape_mismatch() {
+        assert!(mse(&Matrix::zeros(1, 2), &Matrix::zeros(2, 1)).is_err());
+    }
+
+    #[test]
+    fn kl_zero_at_standard_normal() {
+        // μ = 0, logvar = 0 → σ = 1 → KL = 0.
+        let mu = Matrix::zeros(4, 3);
+        let lv = Matrix::zeros(4, 3);
+        let (l, gm, glv) = gaussian_kl(&mu, &lv).unwrap();
+        assert!(l.abs() < 1e-15);
+        assert_eq!(gm.frobenius_norm(), 0.0);
+        assert_eq!(glv.frobenius_norm(), 0.0);
+    }
+
+    #[test]
+    fn kl_is_positive_away_from_prior() {
+        let mu = Matrix::filled(2, 2, 1.0);
+        let lv = Matrix::filled(2, 2, 0.5);
+        let (l, _, _) = gaussian_kl(&mu, &lv).unwrap();
+        assert!(l > 0.0);
+    }
+
+    #[test]
+    fn kl_gradients_match_finite_difference() {
+        let mu = Matrix::from_rows(&[&[0.5, -0.3], &[0.1, 0.8]]).unwrap();
+        let lv = Matrix::from_rows(&[&[0.2, -0.4], &[-0.1, 0.3]]).unwrap();
+        let (base, gm, glv) = gaussian_kl(&mu, &lv).unwrap();
+        let eps = 1e-7;
+        let mut mp = mu.clone();
+        mp.set(1, 1, mu.get(1, 1) + eps);
+        let (lp, _, _) = gaussian_kl(&mp, &lv).unwrap();
+        assert!((gm.get(1, 1) - (lp - base) / eps).abs() < 1e-5);
+        let mut lvp = lv.clone();
+        lvp.set(0, 1, lv.get(0, 1) + eps);
+        let (lp, _, _) = gaussian_kl(&mu, &lvp).unwrap();
+        assert!((glv.get(0, 1) - (lp - base) / eps).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_difference() {
+        let pred = Matrix::from_rows(&[&[0.3, 0.8]]).unwrap();
+        let target = Matrix::from_rows(&[&[0.0, 1.0]]).unwrap();
+        let (base, grad) = binary_cross_entropy(&pred, &target).unwrap();
+        let eps = 1e-7;
+        for c in 0..2 {
+            let mut p = pred.clone();
+            p.set(0, c, pred.get(0, c) + eps);
+            let (lp, _) = binary_cross_entropy(&p, &target).unwrap();
+            assert!((grad.get(0, c) - (lp - base) / eps).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn bce_survives_saturated_probabilities() {
+        let pred = Matrix::from_rows(&[&[0.0, 1.0]]).unwrap();
+        let target = Matrix::from_rows(&[&[0.0, 1.0]]).unwrap();
+        let (l, g) = binary_cross_entropy(&pred, &target).unwrap();
+        assert!(l.is_finite());
+        assert!(g.as_slice().iter().all(|x| x.is_finite()));
+    }
+}

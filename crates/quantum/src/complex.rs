@@ -1,0 +1,291 @@
+//! Minimal double-precision complex arithmetic.
+//!
+//! The offline dependency set does not include `num-complex`, so the simulator
+//! carries its own [`C64`] type. Only the operations needed by a statevector
+//! simulator are provided: field arithmetic, conjugation, modulus, and polar
+//! construction.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// # Examples
+///
+/// ```
+/// use sqvae_quantum::C64;
+///
+/// let z = C64::new(3.0, 4.0);
+/// assert_eq!(z.norm_sqr(), 25.0);
+/// assert_eq!(z.conj(), C64::new(3.0, -4.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real component.
+    pub re: f64,
+    /// Imaginary component.
+    pub im: f64,
+}
+
+impl C64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        C64 { re, im: 0.0 }
+    }
+
+    /// Creates `r * e^{i θ}` from polar coordinates.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sqvae_quantum::C64;
+    /// let z = C64::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!((z.re).abs() < 1e-12);
+    /// assert!((z.im - 2.0).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        C64 {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
+    }
+
+    /// The complex conjugate `re - i·im`.
+    #[inline]
+    pub fn conj(self) -> Self {
+        C64 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// The squared modulus `re² + im²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// The modulus `sqrt(re² + im²)`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        C64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+
+    /// Multiplies by the imaginary unit (`i·z`).
+    #[inline]
+    pub fn mul_i(self) -> Self {
+        C64 {
+            re: -self.im,
+            im: self.re,
+        }
+    }
+
+    /// Returns `true` when both components are within `tol` of `other`.
+    #[inline]
+    pub fn approx_eq(self, other: C64, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: C64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: f64) -> C64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<C64> for f64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: f64) -> C64 {
+        C64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::ZERO, |acc, z| acc + z)
+    }
+}
+
+impl From<f64> for C64 {
+    #[inline]
+    fn from(re: f64) -> C64 {
+        C64::real(re)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = C64::new(1.5, -2.5);
+        assert_eq!(z + C64::ZERO, z);
+        assert_eq!(z * C64::ONE, z);
+        assert_eq!(z - z, C64::ZERO);
+        assert_eq!(-z + z, C64::ZERO);
+    }
+
+    #[test]
+    fn multiplication_matches_expansion() {
+        let a = C64::new(2.0, 3.0);
+        let b = C64::new(-1.0, 4.0);
+        // (2+3i)(-1+4i) = -2 + 8i - 3i + 12i^2 = -14 + 5i
+        assert_eq!(a * b, C64::new(-14.0, 5.0));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(C64::I * C64::I, C64::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let z = C64::new(3.0, 4.0);
+        assert_eq!(z.conj().im, -4.0);
+        assert_eq!((z * z.conj()).re, z.norm_sqr());
+        assert_eq!(z.abs(), 5.0);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = C64::from_polar(2.0, 0.7);
+        assert!((z.abs() - 2.0).abs() < 1e-12);
+        assert!((z.im.atan2(z.re) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mul_i_rotates_by_quarter_turn() {
+        let z = C64::new(1.0, 2.0);
+        assert_eq!(z.mul_i(), C64::new(-2.0, 1.0));
+        assert_eq!(z.mul_i().mul_i(), -z);
+    }
+
+    #[test]
+    fn sum_of_complex() {
+        let v = vec![C64::new(1.0, 1.0), C64::new(2.0, -3.0)];
+        let s: C64 = v.into_iter().sum();
+        assert_eq!(s, C64::new(3.0, -2.0));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(C64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(C64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut z = C64::new(1.0, 1.0);
+        z += C64::new(2.0, 0.5);
+        assert_eq!(z, C64::new(3.0, 1.5));
+        z -= C64::new(1.0, 0.5);
+        assert_eq!(z, C64::new(2.0, 1.0));
+        z *= C64::I;
+        assert_eq!(z, C64::new(-1.0, 2.0));
+    }
+}

@@ -1,0 +1,501 @@
+//! Gate intermediate representation.
+//!
+//! Gates carry [`Param`] bindings so one circuit can be re-executed with
+//! different trainable parameters (`Param::Train`) and input features
+//! (`Param::Input`) without rebuilding the op list — the same role PennyLane's
+//! QNode plays in the paper's stack.
+
+use crate::complex::C64;
+use crate::error::{QuantumError, Result};
+use crate::state::StateVector;
+
+/// Where a gate angle comes from when the circuit is executed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Param {
+    /// A constant angle baked into the circuit.
+    Fixed(f64),
+    /// Index into the trainable parameter vector.
+    Train(usize),
+    /// Index into the input-feature vector (angle embedding).
+    Input(usize),
+}
+
+impl Param {
+    /// Resolves the binding against parameter and input vectors.
+    #[inline]
+    pub fn resolve(&self, params: &[f64], inputs: &[f64]) -> f64 {
+        match *self {
+            Param::Fixed(v) => v,
+            Param::Train(i) => params[i],
+            Param::Input(i) => inputs[i],
+        }
+    }
+}
+
+/// A quantum gate acting on one or two wires.
+///
+/// The parametrized rotations follow the PennyLane conventions used by the
+/// paper: `RY(θ) = exp(-iθY/2)`, `RZ(θ) = exp(-iθZ/2)`,
+/// `CRZ(θ) = diag(1, 1, e^{-iθ/2}, e^{iθ/2})`. The three-parameter rotation
+/// `R(φ, θ, ω) = RZ(ω)·RY(θ)·RZ(φ)` is expressed as three consecutive
+/// single-parameter gates by [`crate::circuit::Circuit::rot`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gate {
+    /// Pauli-X on a wire.
+    PauliX(usize),
+    /// Pauli-Y on a wire.
+    PauliY(usize),
+    /// Pauli-Z on a wire.
+    PauliZ(usize),
+    /// Hadamard on a wire.
+    Hadamard(usize),
+    /// X-rotation `exp(-iθX/2)`.
+    RX(usize, Param),
+    /// Y-rotation `exp(-iθY/2)`.
+    RY(usize, Param),
+    /// Z-rotation `exp(-iθZ/2)`.
+    RZ(usize, Param),
+    /// Phase gate `S = diag(1, i)`.
+    S(usize),
+    /// T gate `diag(1, e^{iπ/4})`.
+    T(usize),
+    /// Controlled X-rotation (control, target, angle).
+    CRX(usize, usize, Param),
+    /// Controlled Y-rotation (control, target, angle).
+    CRY(usize, usize, Param),
+    /// Controlled Z-rotation (control, target, angle).
+    CRZ(usize, usize, Param),
+    /// Controlled-NOT (control, target).
+    CNOT(usize, usize),
+    /// Controlled-Z (control, target).
+    CZ(usize, usize),
+    /// SWAP of two wires.
+    SWAP(usize, usize),
+}
+
+impl Gate {
+    /// The parameter binding, when this gate is parametrized.
+    pub fn param(&self) -> Option<Param> {
+        match *self {
+            Gate::RX(_, p)
+            | Gate::RY(_, p)
+            | Gate::RZ(_, p)
+            | Gate::CRX(_, _, p)
+            | Gate::CRY(_, _, p)
+            | Gate::CRZ(_, _, p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a controlled rotation (differentiable with the
+    /// four-term parameter-shift rule).
+    pub fn is_controlled_rotation(&self) -> bool {
+        matches!(self, Gate::CRX(..) | Gate::CRY(..) | Gate::CRZ(..))
+    }
+
+    /// Whether this gate's angle is differentiable with the two-term
+    /// parameter-shift rule (generator eigenvalues ±1/2).
+    pub fn is_single_qubit_rotation(&self) -> bool {
+        matches!(self, Gate::RX(..) | Gate::RY(..) | Gate::RZ(..))
+    }
+
+    /// All wires the gate touches.
+    pub fn wires(&self) -> Vec<usize> {
+        match *self {
+            Gate::PauliX(w)
+            | Gate::PauliY(w)
+            | Gate::PauliZ(w)
+            | Gate::Hadamard(w)
+            | Gate::S(w)
+            | Gate::T(w)
+            | Gate::RX(w, _)
+            | Gate::RY(w, _)
+            | Gate::RZ(w, _) => vec![w],
+            Gate::CRX(c, t, _)
+            | Gate::CRY(c, t, _)
+            | Gate::CRZ(c, t, _)
+            | Gate::CNOT(c, t)
+            | Gate::CZ(c, t)
+            | Gate::SWAP(c, t) => vec![c, t],
+        }
+    }
+
+    /// Validates the gate's wires against a register size.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a wire is out of range or control equals target.
+    pub fn validate(&self, n_qubits: usize) -> Result<()> {
+        for w in self.wires() {
+            if w >= n_qubits {
+                return Err(QuantumError::WireOutOfRange { wire: w, n_qubits });
+            }
+        }
+        if let Gate::CRX(c, t, _)
+        | Gate::CRY(c, t, _)
+        | Gate::CRZ(c, t, _)
+        | Gate::CNOT(c, t)
+        | Gate::CZ(c, t)
+        | Gate::SWAP(c, t) = *self
+        {
+            if c == t {
+                return Err(QuantumError::ControlEqualsTarget { wire: c });
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the gate to `state` with `theta` as the resolved angle (ignored
+    /// for non-parametrized gates).
+    ///
+    /// # Errors
+    ///
+    /// Propagates wire-validation errors from the state kernels.
+    pub fn apply(&self, state: &mut StateVector, theta: f64) -> Result<()> {
+        match *self {
+            Gate::PauliX(w) => state.apply_single_qubit(w, &pauli_x()),
+            Gate::PauliY(w) => state.apply_single_qubit(w, &pauli_y()),
+            Gate::PauliZ(w) => state.apply_single_qubit(w, &pauli_z()),
+            Gate::Hadamard(w) => state.apply_single_qubit(w, &hadamard()),
+            Gate::S(w) => state.apply_single_qubit(w, &s_matrix()),
+            Gate::T(w) => state.apply_single_qubit(w, &t_matrix()),
+            Gate::RX(w, _) => state.apply_single_qubit(w, &rx_matrix(theta)),
+            Gate::RY(w, _) => state.apply_single_qubit(w, &ry_matrix(theta)),
+            Gate::RZ(w, _) => state.apply_single_qubit(w, &rz_matrix(theta)),
+            Gate::CRX(c, t, _) => state.apply_controlled(c, t, &rx_matrix(theta)),
+            Gate::CRY(c, t, _) => state.apply_controlled(c, t, &ry_matrix(theta)),
+            Gate::CRZ(c, t, _) => state.apply_controlled(c, t, &rz_matrix(theta)),
+            Gate::CNOT(c, t) => state.apply_cnot(c, t),
+            Gate::CZ(c, t) => state.apply_controlled(c, t, &pauli_z()),
+            Gate::SWAP(a, b) => {
+                // SWAP = CNOT(a,b)·CNOT(b,a)·CNOT(a,b).
+                state.apply_cnot(a, b)?;
+                state.apply_cnot(b, a)?;
+                state.apply_cnot(a, b)
+            }
+        }
+    }
+
+    /// Applies the inverse (adjoint) of the gate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates wire-validation errors from the state kernels.
+    pub fn apply_inverse(&self, state: &mut StateVector, theta: f64) -> Result<()> {
+        match *self {
+            // Self-inverse gates.
+            Gate::PauliX(_)
+            | Gate::PauliY(_)
+            | Gate::PauliZ(_)
+            | Gate::Hadamard(_)
+            | Gate::CNOT(..)
+            | Gate::CZ(..)
+            | Gate::SWAP(..) => self.apply(state, theta),
+            // Fixed phase gates invert by conjugating the phase.
+            Gate::S(w) => state.apply_single_qubit(w, &s_dagger_matrix()),
+            Gate::T(w) => state.apply_single_qubit(w, &t_dagger_matrix()),
+            // Rotations invert by negating the angle.
+            Gate::RX(..)
+            | Gate::RY(..)
+            | Gate::RZ(..)
+            | Gate::CRX(..)
+            | Gate::CRY(..)
+            | Gate::CRZ(..) => self.apply(state, -theta),
+        }
+    }
+
+    /// Applies the gate's generator `G` (from `U(θ) = exp(-iθG/2)`) to
+    /// `state`, in place. Used by adjoint differentiation:
+    /// `dU/dθ |ψ⟩ = (-i/2)·G·U|ψ⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates wire-validation errors. Returns `Ok(false)` (leaving the
+    /// state untouched) for non-parametrized gates.
+    pub fn apply_generator(&self, state: &mut StateVector) -> Result<bool> {
+        match *self {
+            Gate::RX(w, _) => {
+                state.apply_single_qubit(w, &pauli_x())?;
+                Ok(true)
+            }
+            Gate::RY(w, _) => {
+                state.apply_single_qubit(w, &pauli_y())?;
+                Ok(true)
+            }
+            Gate::RZ(w, _) => {
+                state.apply_single_qubit(w, &pauli_z())?;
+                Ok(true)
+            }
+            Gate::CRZ(c, t, _) => {
+                // Generator is |1⟩⟨1|_c ⊗ Z_t: zero out control-clear
+                // amplitudes and apply Z on the target within the
+                // control-set subspace. Implemented as a diagonal.
+                state.check_wire(c)?;
+                state.check_wire(t)?;
+                let cmask = 1usize << state.bit_of_wire(c);
+                let tmask = 1usize << state.bit_of_wire(t);
+                let dim = state.dim();
+                let mut d = vec![0.0f64; dim];
+                for (i, di) in d.iter_mut().enumerate() {
+                    if i & cmask != 0 {
+                        *di = if i & tmask == 0 { 1.0 } else { -1.0 };
+                    }
+                }
+                state.apply_diagonal_real(&d);
+                Ok(true)
+            }
+            Gate::CRX(c, t, _) | Gate::CRY(c, t, _) => {
+                // Generator |1⟩⟨1|_c ⊗ P_t: apply the Pauli on the target
+                // within the control-set subspace, then project out the
+                // control-clear subspace.
+                let pauli = if matches!(self, Gate::CRX(..)) {
+                    pauli_x()
+                } else {
+                    pauli_y()
+                };
+                state.apply_controlled(c, t, &pauli)?;
+                let cmask = 1usize << state.bit_of_wire(c);
+                let dim = state.dim();
+                let d: Vec<f64> = (0..dim)
+                    .map(|i| if i & cmask != 0 { 1.0 } else { 0.0 })
+                    .collect();
+                state.apply_diagonal_real(&d);
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+}
+
+/// Pauli-X matrix.
+pub fn pauli_x() -> [[C64; 2]; 2] {
+    [[C64::ZERO, C64::ONE], [C64::ONE, C64::ZERO]]
+}
+
+/// Pauli-Y matrix.
+pub fn pauli_y() -> [[C64; 2]; 2] {
+    [[C64::ZERO, -C64::I], [C64::I, C64::ZERO]]
+}
+
+/// Pauli-Z matrix.
+pub fn pauli_z() -> [[C64; 2]; 2] {
+    [[C64::ONE, C64::ZERO], [C64::ZERO, -C64::ONE]]
+}
+
+/// Hadamard matrix.
+pub fn hadamard() -> [[C64; 2]; 2] {
+    let h = C64::real(std::f64::consts::FRAC_1_SQRT_2);
+    [[h, h], [h, -h]]
+}
+
+/// Phase gate `S = diag(1, i)`.
+pub fn s_matrix() -> [[C64; 2]; 2] {
+    [[C64::ONE, C64::ZERO], [C64::ZERO, C64::I]]
+}
+
+/// `S† = diag(1, -i)`.
+pub fn s_dagger_matrix() -> [[C64; 2]; 2] {
+    [[C64::ONE, C64::ZERO], [C64::ZERO, -C64::I]]
+}
+
+/// T gate `diag(1, e^{iπ/4})`.
+pub fn t_matrix() -> [[C64; 2]; 2] {
+    [
+        [C64::ONE, C64::ZERO],
+        [C64::ZERO, C64::from_polar(1.0, std::f64::consts::FRAC_PI_4)],
+    ]
+}
+
+/// `T† = diag(1, e^{-iπ/4})`.
+pub fn t_dagger_matrix() -> [[C64; 2]; 2] {
+    [
+        [C64::ONE, C64::ZERO],
+        [C64::ZERO, C64::from_polar(1.0, -std::f64::consts::FRAC_PI_4)],
+    ]
+}
+
+/// `RX(θ) = exp(-iθX/2)`.
+pub fn rx_matrix(theta: f64) -> [[C64; 2]; 2] {
+    let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+    [
+        [C64::real(c), C64::new(0.0, -s)],
+        [C64::new(0.0, -s), C64::real(c)],
+    ]
+}
+
+/// `RY(θ) = exp(-iθY/2)`, the real rotation used by angle embedding (Fig. 3
+/// of the paper lists its matrix).
+pub fn ry_matrix(theta: f64) -> [[C64; 2]; 2] {
+    let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+    [
+        [C64::real(c), C64::real(-s)],
+        [C64::real(s), C64::real(c)],
+    ]
+}
+
+/// `RZ(θ) = diag(e^{-iθ/2}, e^{iθ/2})`.
+pub fn rz_matrix(theta: f64) -> [[C64; 2]; 2] {
+    [
+        [C64::from_polar(1.0, -theta / 2.0), C64::ZERO],
+        [C64::ZERO, C64::from_polar(1.0, theta / 2.0)],
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn fresh(n: usize) -> StateVector {
+        StateVector::zero_state(n).unwrap()
+    }
+
+    #[test]
+    fn param_resolution() {
+        let params = [0.5, 1.5];
+        let inputs = [2.5];
+        assert_eq!(Param::Fixed(9.0).resolve(&params, &inputs), 9.0);
+        assert_eq!(Param::Train(1).resolve(&params, &inputs), 1.5);
+        assert_eq!(Param::Input(0).resolve(&params, &inputs), 2.5);
+    }
+
+    #[test]
+    fn ry_pi_flips_qubit() {
+        let mut s = fresh(1);
+        Gate::RY(0, Param::Fixed(PI)).apply(&mut s, PI).unwrap();
+        assert!((s.probability(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ry_matches_paper_matrix() {
+        // Paper Fig. 3: RY(φ) = [[cos(φ/2), -sin(φ/2)], [sin(φ/2), cos(φ/2)]].
+        let m = ry_matrix(0.8);
+        assert!((m[0][0].re - (0.4f64).cos()).abs() < 1e-15);
+        assert!((m[0][1].re + (0.4f64).sin()).abs() < 1e-15);
+        assert!((m[1][0].re - (0.4f64).sin()).abs() < 1e-15);
+        assert!((m[1][1].re - (0.4f64).cos()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rz_is_diagonal_phase() {
+        let m = rz_matrix(1.2);
+        assert!((m[0][0] - C64::from_polar(1.0, -0.6)).abs() < 1e-15);
+        assert!((m[1][1] - C64::from_polar(1.0, 0.6)).abs() < 1e-15);
+        assert_eq!(m[0][1], C64::ZERO);
+    }
+
+    #[test]
+    fn gate_inverse_round_trips() {
+        let gates = vec![
+            Gate::Hadamard(0),
+            Gate::RX(0, Param::Fixed(0.3)),
+            Gate::RY(1, Param::Fixed(-0.7)),
+            Gate::RZ(0, Param::Fixed(1.9)),
+            Gate::CNOT(0, 1),
+            Gate::CRZ(0, 1, Param::Fixed(0.4)),
+            Gate::CRX(0, 1, Param::Fixed(0.8)),
+            Gate::CRY(1, 0, Param::Fixed(-1.1)),
+            Gate::CZ(1, 0),
+            Gate::S(0),
+            Gate::T(1),
+            Gate::SWAP(0, 1),
+            Gate::PauliY(1),
+        ];
+        let mut s = fresh(2);
+        // Put the register into a non-trivial state first.
+        Gate::Hadamard(0).apply(&mut s, 0.0).unwrap();
+        Gate::RY(1, Param::Fixed(0.0)).apply(&mut s, 0.9).unwrap();
+        let reference = s.clone();
+        for g in &gates {
+            let theta = g.param().map_or(0.0, |p| p.resolve(&[], &[]));
+            g.apply(&mut s, theta).unwrap();
+        }
+        for g in gates.iter().rev() {
+            let theta = g.param().map_or(0.0, |p| p.resolve(&[], &[]));
+            g.apply_inverse(&mut s, theta).unwrap();
+        }
+        for (a, b) in s.amplitudes().iter().zip(reference.amplitudes()) {
+            assert!(a.approx_eq(*b, 1e-12), "{a} != {b}");
+        }
+    }
+
+    #[test]
+    fn crz_matches_paper_matrix() {
+        // CRZ(φ) = diag(1, 1, e^{-iφ/2}, e^{iφ/2}) with control = wire 0.
+        let theta = 0.9;
+        for (basis, expected) in [
+            (0b00, C64::ONE),
+            (0b01, C64::ONE),
+            (0b10, C64::from_polar(1.0, -theta / 2.0)),
+            (0b11, C64::from_polar(1.0, theta / 2.0)),
+        ] {
+            let mut s = fresh(2);
+            // Prepare |basis⟩.
+            if basis & 0b10 != 0 {
+                Gate::PauliX(0).apply(&mut s, 0.0).unwrap();
+            }
+            if basis & 0b01 != 0 {
+                Gate::PauliX(1).apply(&mut s, 0.0).unwrap();
+            }
+            Gate::CRZ(0, 1, Param::Fixed(theta))
+                .apply(&mut s, theta)
+                .unwrap();
+            assert!(
+                s.amplitude(basis).approx_eq(expected, 1e-12),
+                "basis {basis:02b}: {} != {expected}",
+                s.amplitude(basis)
+            );
+        }
+    }
+
+    #[test]
+    fn generator_matches_finite_difference_of_gate() {
+        // dU/dθ |ψ⟩ ≈ (U(θ+ε) - U(θ-ε))|ψ⟩ / (2ε) must equal (-i/2)·G·U(θ)|ψ⟩.
+        let theta = 0.77;
+        let eps = 1e-6;
+        for gate in [
+            Gate::RX(0, Param::Fixed(theta)),
+            Gate::RY(0, Param::Fixed(theta)),
+            Gate::RZ(0, Param::Fixed(theta)),
+            Gate::CRX(0, 1, Param::Fixed(theta)),
+            Gate::CRY(0, 1, Param::Fixed(theta)),
+            Gate::CRZ(0, 1, Param::Fixed(theta)),
+        ] {
+            let mut base = fresh(2);
+            Gate::Hadamard(0).apply(&mut base, 0.0).unwrap();
+            Gate::Hadamard(1).apply(&mut base, 0.0).unwrap();
+
+            let mut plus = base.clone();
+            gate.apply(&mut plus, theta + eps).unwrap();
+            let mut minus = base.clone();
+            gate.apply(&mut minus, theta - eps).unwrap();
+
+            let mut analytic = base.clone();
+            gate.apply(&mut analytic, theta).unwrap();
+            assert!(gate.apply_generator(&mut analytic).unwrap());
+
+            for i in 0..base.dim() {
+                let fd = (plus.amplitude(i) - minus.amplitude(i)) / (2.0 * eps);
+                let an = analytic.amplitude(i).mul_i().scale(-0.5); // (-i/2)·G·U|ψ⟩
+                assert!(
+                    fd.approx_eq(an, 1e-5),
+                    "{gate:?} amp {i}: fd={fd} analytic={an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generator_is_noop_for_fixed_gates() {
+        let mut s = fresh(1);
+        assert!(!Gate::Hadamard(0).apply_generator(&mut s).unwrap());
+        assert_eq!(s, fresh(1));
+    }
+
+    #[test]
+    fn validate_rejects_bad_wires() {
+        assert!(Gate::RY(3, Param::Fixed(0.0)).validate(2).is_err());
+        assert!(Gate::CNOT(0, 0).validate(2).is_err());
+        assert!(Gate::CNOT(0, 1).validate(2).is_ok());
+    }
+}

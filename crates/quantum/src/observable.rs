@@ -1,0 +1,144 @@
+//! Diagonal observables.
+//!
+//! Every measurement in the paper (per-wire `⟨Z⟩`, basis-state probabilities)
+//! is diagonal in the computational basis, so the gradient engine only ever
+//! needs real diagonal operators. This module builds them.
+
+use crate::error::{QuantumError, Result};
+
+/// The diagonal of `Z` on `wire` in an `n_qubits` register: entry `i` is `+1`
+/// when the wire's bit is 0 and `-1` when it is 1.
+///
+/// # Errors
+///
+/// Returns [`QuantumError::WireOutOfRange`] for an invalid wire.
+///
+/// # Examples
+///
+/// ```
+/// let d = sqvae_quantum::observable::z_diagonal(2, 0)?;
+/// assert_eq!(d, vec![1.0, 1.0, -1.0, -1.0]);
+/// # Ok::<(), sqvae_quantum::QuantumError>(())
+/// ```
+pub fn z_diagonal(n_qubits: usize, wire: usize) -> Result<Vec<f64>> {
+    if wire >= n_qubits {
+        return Err(QuantumError::WireOutOfRange { wire, n_qubits });
+    }
+    let dim = 1usize << n_qubits;
+    let mask = 1usize << (n_qubits - 1 - wire);
+    Ok((0..dim)
+        .map(|i| if i & mask == 0 { 1.0 } else { -1.0 })
+        .collect())
+}
+
+/// The diagonal of the weighted sum `Σ_k w_k · Z_{wire_k}`.
+///
+/// This is the effective observable for reverse-mode differentiation of a
+/// vector of `⟨Z⟩` outputs: with upstream gradient `w`, one adjoint pass
+/// against this observable yields `dL/dθ` directly.
+///
+/// # Errors
+///
+/// Returns an error if `wires` and `weights` differ in length or a wire is
+/// out of range.
+pub fn weighted_z_sum_diagonal(
+    n_qubits: usize,
+    wires: &[usize],
+    weights: &[f64],
+) -> Result<Vec<f64>> {
+    if wires.len() != weights.len() {
+        return Err(QuantumError::DimensionMismatch {
+            expected: wires.len(),
+            actual: weights.len(),
+        });
+    }
+    let dim = 1usize << n_qubits;
+    let mut d = vec![0.0; dim];
+    for (&w, &c) in wires.iter().zip(weights) {
+        let zw = z_diagonal(n_qubits, w)?;
+        for (di, zi) in d.iter_mut().zip(zw) {
+            *di += c * zi;
+        }
+    }
+    Ok(d)
+}
+
+/// The diagonal observable whose expectation is `Σ_i w_i · p_i` where `p_i`
+/// are basis-state probabilities — i.e. `w` interpreted as the upstream
+/// gradient of a probability readout. (`p_i = ⟨ψ|i⟩⟨i|ψ⟩`, so the weighted
+/// sum of projectors is the diagonal operator with entries `w`.)
+///
+/// # Errors
+///
+/// Returns a dimension error if `weights.len() != 2^n_qubits`.
+pub fn probability_diagonal(n_qubits: usize, weights: &[f64]) -> Result<Vec<f64>> {
+    let dim = 1usize << n_qubits;
+    if weights.len() != dim {
+        return Err(QuantumError::DimensionMismatch {
+            expected: dim,
+            actual: weights.len(),
+        });
+    }
+    Ok(weights.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::StateVector;
+
+    #[test]
+    fn z_diagonal_per_wire() {
+        assert_eq!(z_diagonal(2, 0).unwrap(), vec![1.0, 1.0, -1.0, -1.0]);
+        assert_eq!(z_diagonal(2, 1).unwrap(), vec![1.0, -1.0, 1.0, -1.0]);
+        assert!(z_diagonal(2, 2).is_err());
+    }
+
+    #[test]
+    fn weighted_sum_combines_linearly() {
+        let d = weighted_z_sum_diagonal(2, &[0, 1], &[2.0, -1.0]).unwrap();
+        // 2·Z0 - Z1 at each basis state.
+        assert_eq!(d, vec![2.0 - 1.0, 2.0 + 1.0, -2.0 - 1.0, -2.0 + 1.0]);
+    }
+
+    #[test]
+    fn weighted_sum_rejects_length_mismatch() {
+        assert!(weighted_z_sum_diagonal(2, &[0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn weighted_sum_expectation_matches_direct_sum() {
+        let s = StateVector::from_amplitudes(vec![
+            crate::C64::real(0.5),
+            crate::C64::real(0.5),
+            crate::C64::real(0.5),
+            crate::C64::real(-0.5),
+        ])
+        .unwrap();
+        let w = [0.7, -0.3];
+        let d = weighted_z_sum_diagonal(2, &[0, 1], &w).unwrap();
+        let direct = w[0] * s.expectation_z(0).unwrap() + w[1] * s.expectation_z(1).unwrap();
+        assert!((s.expectation_diagonal(&d) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_diagonal_expectation_is_weighted_probs() {
+        let s = StateVector::from_amplitudes(vec![
+            crate::C64::real(1.0),
+            crate::C64::real(2.0),
+            crate::C64::real(0.0),
+            crate::C64::real(1.0),
+        ])
+        .unwrap();
+        let w = [1.0, 10.0, 100.0, 1000.0];
+        let d = probability_diagonal(2, &w).unwrap();
+        let p = s.probabilities();
+        let expected: f64 = p.iter().zip(&w).map(|(pi, wi)| pi * wi).sum();
+        assert!((s.expectation_diagonal(&d) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_diagonal_checks_dimension() {
+        assert!(probability_diagonal(2, &[1.0; 3]).is_err());
+    }
+}

@@ -1,0 +1,156 @@
+//! Variational layer templates.
+//!
+//! The paper fixes its repeatable hidden layer to "rotation gates R(ψ, θ, ω)
+//! acting on each qubit, followed by CNOT gates with a periodic layout"
+//! (§III-A) — PennyLane's `StronglyEntanglingLayers`. This module generates
+//! that structure as a reusable gate list.
+
+use crate::error::Result;
+use crate::gate::{Gate, Param};
+
+/// How the entangling CNOT range is chosen per layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EntangleRange {
+    /// Fixed range 1: CNOT(i, (i+1) mod n) — the "periodic layout" drawn in
+    /// the paper's Fig. 2(b).
+    #[default]
+    Ring,
+    /// PennyLane's default: layer `l` uses range `(l mod (n-1)) + 1`.
+    PennyLane,
+}
+
+/// Number of trainable parameters consumed by
+/// [`strongly_entangling_layers`]: `n_layers × n_qubits × 3`.
+///
+/// # Examples
+///
+/// ```
+/// // The paper's baseline: L=3 layers on 6 qubits → 54 parameters per
+/// // network, 108 for encoder+decoder (Table I).
+/// assert_eq!(sqvae_quantum::templates::entangling_layer_params(6, 3), 54);
+/// ```
+pub fn entangling_layer_params(n_qubits: usize, n_layers: usize) -> usize {
+    n_layers * n_qubits * 3
+}
+
+/// Builds `n_layers` strongly-entangling layers over `n_qubits` wires.
+///
+/// Each layer applies `Rot(φ, θ, ω)` (three trainable angles) to every wire,
+/// then a cyclic cascade of CNOTs. Trainable parameters are bound to indices
+/// `param_offset .. param_offset + n_layers*n_qubits*3` in layer-major,
+/// wire-minor order.
+///
+/// Single-qubit registers get no entanglers (there is nothing to entangle).
+///
+/// # Errors
+///
+/// This function itself cannot fail for valid inputs; the `Result` propagates
+/// the (unreachable for `n_qubits ≥ 1`) wire-validation plumbing so callers
+/// can use `?` uniformly.
+pub fn strongly_entangling_layers(
+    n_qubits: usize,
+    n_layers: usize,
+    param_offset: usize,
+    range: EntangleRange,
+) -> Result<Vec<Gate>> {
+    let mut gates = Vec::with_capacity(n_layers * n_qubits * 4);
+    let mut p = param_offset;
+    for layer in 0..n_layers {
+        for w in 0..n_qubits {
+            gates.push(Gate::RZ(w, Param::Train(p)));
+            gates.push(Gate::RY(w, Param::Train(p + 1)));
+            gates.push(Gate::RZ(w, Param::Train(p + 2)));
+            p += 3;
+        }
+        if n_qubits > 1 {
+            let r = match range {
+                EntangleRange::Ring => 1,
+                EntangleRange::PennyLane => (layer % (n_qubits - 1)) + 1,
+            };
+            for w in 0..n_qubits {
+                gates.push(Gate::CNOT(w, (w + r) % n_qubits));
+            }
+        }
+    }
+    Ok(gates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+
+    #[test]
+    fn parameter_count_matches_paper_table1() {
+        // 2 networks × 3 layers × 6 qubits × 3 = 108 quantum parameters.
+        assert_eq!(2 * entangling_layer_params(6, 3), 108);
+    }
+
+    #[test]
+    fn gate_counts_per_layer() {
+        let gates = strongly_entangling_layers(4, 2, 0, EntangleRange::Ring).unwrap();
+        // Per layer: 4 wires × 3 rotations + 4 CNOTs = 16 gates.
+        assert_eq!(gates.len(), 2 * 16);
+        let cnots = gates.iter().filter(|g| matches!(g, Gate::CNOT(..))).count();
+        assert_eq!(cnots, 8);
+    }
+
+    #[test]
+    fn parameters_are_contiguous_from_offset() {
+        let gates = strongly_entangling_layers(3, 2, 10, EntangleRange::Ring).unwrap();
+        let mut c = Circuit::new(3).unwrap();
+        c.extend(gates).unwrap();
+        assert_eq!(c.n_params(), 10 + entangling_layer_params(3, 2));
+    }
+
+    #[test]
+    fn ring_entanglement_wraps_around() {
+        let gates = strongly_entangling_layers(3, 1, 0, EntangleRange::Ring).unwrap();
+        let cnots: Vec<_> = gates
+            .iter()
+            .filter_map(|g| match g {
+                Gate::CNOT(c, t) => Some((*c, *t)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(cnots, vec![(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn pennylane_ranges_vary_by_layer() {
+        let gates = strongly_entangling_layers(4, 3, 0, EntangleRange::PennyLane).unwrap();
+        let cnots: Vec<_> = gates
+            .iter()
+            .filter_map(|g| match g {
+                Gate::CNOT(c, t) => Some((*c, *t)),
+                _ => None,
+            })
+            .collect();
+        // Layer 0: r=1, layer 1: r=2, layer 2: r=3.
+        assert_eq!(&cnots[0..4], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(&cnots[4..8], &[(0, 2), (1, 3), (2, 0), (3, 1)]);
+        assert_eq!(&cnots[8..12], &[(0, 3), (1, 0), (2, 1), (3, 2)]);
+    }
+
+    #[test]
+    fn single_qubit_register_has_no_entanglers() {
+        let gates = strongly_entangling_layers(1, 3, 0, EntangleRange::Ring).unwrap();
+        assert!(gates.iter().all(|g| !matches!(g, Gate::CNOT(..))));
+        assert_eq!(gates.len(), 9); // 3 layers × 3 rotations
+    }
+
+    #[test]
+    fn layers_execute_on_a_circuit() {
+        let gates = strongly_entangling_layers(4, 5, 0, EntangleRange::Ring).unwrap();
+        let mut c = Circuit::new(4).unwrap();
+        c.extend(gates).unwrap();
+        let n = c.n_params();
+        assert_eq!(n, entangling_layer_params(4, 5));
+        let params: Vec<f64> = (0..n).map(|i| 0.01 * i as f64).collect();
+        let z = c.run_expectations_z(&params, &[], None).unwrap();
+        assert_eq!(z.len(), 4);
+        for zi in z {
+            assert!((-1.0..=1.0).contains(&zi));
+        }
+    }
+}

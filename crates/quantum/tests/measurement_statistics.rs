@@ -1,0 +1,204 @@
+//! Measurement-layer checks against analytically known states, plus
+//! unitarity properties of every gate matrix.
+
+use proptest::prelude::*;
+use sqvae_quantum::{
+    hadamard, pauli_x, pauli_y, pauli_z, rx_matrix, ry_matrix, rz_matrix, Circuit, Gate,
+    Param, StateVector, C64,
+};
+
+fn assert_unitary(m: &[[C64; 2]; 2]) {
+    // M·M† = I.
+    for r in 0..2 {
+        for c in 0..2 {
+            let mut s = C64::ZERO;
+            for k in 0..2 {
+                s += m[r][k] * m[c][k].conj();
+            }
+            let expected = if r == c { C64::ONE } else { C64::ZERO };
+            assert!(s.approx_eq(expected, 1e-12), "M·M†[{r}][{c}] = {s}");
+        }
+    }
+}
+
+#[test]
+fn fixed_gate_matrices_are_unitary() {
+    for m in [pauli_x(), pauli_y(), pauli_z(), hadamard()] {
+        assert_unitary(&m);
+    }
+}
+
+proptest! {
+    #[test]
+    fn rotation_matrices_are_unitary(theta in -10.0..10.0f64) {
+        assert_unitary(&rx_matrix(theta));
+        assert_unitary(&ry_matrix(theta));
+        assert_unitary(&rz_matrix(theta));
+    }
+
+    /// ⟨Z⟩ of RY(θ)|0⟩ is exactly cos θ, and Var(Z) = sin²θ.
+    #[test]
+    fn ry_expectation_is_cosine(theta in -6.0..6.0f64) {
+        let mut c = Circuit::new(1).unwrap();
+        c.ry(0, Param::Train(0)).unwrap();
+        let state = c.run(&[theta], &[], None).unwrap();
+        let z = state.expectation_z(0).unwrap();
+        prop_assert!((z - theta.cos()).abs() < 1e-12);
+        let var = state.variance_z(0).unwrap();
+        prop_assert!((var - theta.sin().powi(2)).abs() < 1e-12);
+    }
+
+    /// Probabilities of RY(θ)|0⟩ follow cos²/sin² of the half angle.
+    #[test]
+    fn ry_probabilities_are_half_angle_squares(theta in -6.0..6.0f64) {
+        let mut c = Circuit::new(1).unwrap();
+        c.ry(0, Param::Train(0)).unwrap();
+        let p = c.run_probabilities(&[theta], &[], None).unwrap();
+        prop_assert!((p[0] - (theta / 2.0).cos().powi(2)).abs() < 1e-12);
+        prop_assert!((p[1] - (theta / 2.0).sin().powi(2)).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn ghz_state_statistics() {
+    // H(0), CNOT(0,1), CNOT(1,2) → (|000⟩ + |111⟩)/√2.
+    let mut c = Circuit::new(3).unwrap();
+    c.h(0).unwrap();
+    c.cnot(0, 1).unwrap();
+    c.cnot(1, 2).unwrap();
+    let state = c.run(&[], &[], None).unwrap();
+    let p = state.probabilities();
+    assert!((p[0] - 0.5).abs() < 1e-12);
+    assert!((p[7] - 0.5).abs() < 1e-12);
+    for i in 1..7 {
+        assert!(p[i].abs() < 1e-12);
+    }
+    // Every single-qubit ⟨Z⟩ is zero, every variance is 1.
+    for w in 0..3 {
+        assert!(state.expectation_z(w).unwrap().abs() < 1e-12);
+        assert!((state.variance_z(w).unwrap() - 1.0).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn cz_phase_is_basis_dependent() {
+    // CZ flips the sign of |11⟩ only.
+    for basis in 0..4usize {
+        let mut s = StateVector::zero_state(2).unwrap();
+        if basis & 0b10 != 0 {
+            Gate::PauliX(0).apply(&mut s, 0.0).unwrap();
+        }
+        if basis & 0b01 != 0 {
+            Gate::PauliX(1).apply(&mut s, 0.0).unwrap();
+        }
+        Gate::CZ(0, 1).apply(&mut s, 0.0).unwrap();
+        let expected = if basis == 0b11 { -C64::ONE } else { C64::ONE };
+        assert!(s.amplitude(basis).approx_eq(expected, 1e-12), "basis {basis:02b}");
+    }
+}
+
+#[test]
+fn global_phase_does_not_change_measurements() {
+    // RZ on |0⟩ is a pure phase: probabilities and ⟨Z⟩ unchanged.
+    let mut c = Circuit::new(2).unwrap();
+    c.h(0).unwrap();
+    c.cnot(0, 1).unwrap();
+    let before = c.run(&[], &[], None).unwrap();
+    let mut c2 = Circuit::new(2).unwrap();
+    c2.h(0).unwrap();
+    c2.cnot(0, 1).unwrap();
+    c2.rz(0, Param::Fixed(1.23)).unwrap();
+    c2.rz(1, Param::Fixed(-0.77)).unwrap();
+    let after = c2.run(&[], &[], None).unwrap();
+    for w in 0..2 {
+        assert!(
+            (before.expectation_z(w).unwrap() - after.expectation_z(w).unwrap()).abs()
+                < 1e-12
+        );
+    }
+    for (a, b) in before.probabilities().iter().zip(after.probabilities()) {
+        assert!((a - b).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn swap_exchanges_wire_states() {
+    // Prepare |10⟩, swap, expect |01⟩.
+    let mut s = StateVector::zero_state(2).unwrap();
+    Gate::PauliX(0).apply(&mut s, 0.0).unwrap();
+    Gate::SWAP(0, 1).apply(&mut s, 0.0).unwrap();
+    assert!((s.probability(0b01) - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn s_gate_squared_is_z() {
+    let mut c = Circuit::new(1).unwrap();
+    c.h(0).unwrap();
+    c.push(Gate::S(0)).unwrap();
+    c.push(Gate::S(0)).unwrap();
+    c.h(0).unwrap();
+    // H·Z·H = X: |0⟩ → |1⟩.
+    let p = c.run_probabilities(&[], &[], None).unwrap();
+    assert!((p[1] - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn t_gate_fourth_power_is_z() {
+    let mut c = Circuit::new(1).unwrap();
+    c.h(0).unwrap();
+    for _ in 0..4 {
+        c.push(Gate::T(0)).unwrap();
+    }
+    c.h(0).unwrap();
+    let p = c.run_probabilities(&[], &[], None).unwrap();
+    assert!((p[1] - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn controlled_rotations_gradcheck_via_paramshift() {
+    use sqvae_quantum::grad::{adjoint, paramshift};
+    for gate in [
+        Gate::CRX(0, 1, Param::Train(0)),
+        Gate::CRY(0, 1, Param::Train(0)),
+    ] {
+        let mut c = Circuit::new(2).unwrap();
+        c.h(0).unwrap();
+        c.push(gate).unwrap();
+        let theta = [0.83];
+        let upstream = [0.0, 1.0];
+        let adj =
+            adjoint::backward_expectations_z(&c, &theta, &[], None, &upstream).unwrap();
+        let ps = paramshift::vjp_expectations_z(&c, &theta, &[], None, &upstream).unwrap();
+        assert!(
+            (adj.params[0] - ps.params[0]).abs() < 1e-10,
+            "{gate:?}: adjoint {} vs paramshift {}",
+            adj.params[0],
+            ps.params[0]
+        );
+        assert!(adj.params[0].abs() > 1e-3, "{gate:?} gradient should be non-trivial");
+    }
+}
+
+#[test]
+fn shot_sampling_converges_to_probabilities() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut c = Circuit::new(1).unwrap();
+    c.ry(0, Param::Fixed(1.0)).unwrap();
+    let state = c.run(&[], &[], None).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let est = state.estimate_expectation_z(0, 20_000, &mut rng).unwrap();
+    let exact = state.expectation_z(0).unwrap();
+    assert!((est - exact).abs() < 0.02, "estimate {est} vs exact {exact}");
+    // Outcome histogram matches probabilities.
+    let outcomes = state.sample_measurements(20_000, &mut rng);
+    let ones = outcomes.iter().filter(|&&o| o == 1).count() as f64 / 20_000.0;
+    assert!((ones - state.probability(1)).abs() < 0.02);
+}
+
+#[test]
+fn max_register_bound_is_enforced() {
+    assert!(StateVector::zero_state(sqvae_quantum::MAX_QUBITS).is_ok());
+    assert!(StateVector::zero_state(sqvae_quantum::MAX_QUBITS + 1).is_err());
+    assert!(Circuit::new(0).is_err());
+}

@@ -1,0 +1,42 @@
+//! # sqvae
+//!
+//! Facade crate for the DATE 2022 reproduction of *Scalable Variational
+//! Quantum Circuits for Autoencoder-based Drug Discovery* (Li & Ghosh).
+//! Re-exports every workspace crate under one roof:
+//!
+//! * [`quantum`] — statevector simulator with adjoint / parameter-shift
+//!   gradients (`sqvae-quantum`).
+//! * [`nn`] — classical layers, losses, Adam with parameter groups
+//!   (`sqvae-nn`).
+//! * [`chem`] — molecular graphs, the molecule-matrix codec, QED/logP/SA
+//!   (`sqvae-chem`).
+//! * [`datasets`] — synthetic QM9 / PDBbind / Digits / CIFAR-gray
+//!   generators (`sqvae-datasets`).
+//! * [`core`] — the autoencoder model zoo, trainer, and sampling pipeline
+//!   (`sqvae-core`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use sqvae::core::{models, TrainConfig, Trainer};
+//! use sqvae::datasets::qm9::{generate, Qm9Config};
+//!
+//! # fn main() -> Result<(), sqvae::nn::NnError> {
+//! let data = generate(&Qm9Config { n_samples: 32, seed: 7 });
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut model = models::h_bq_vae(64, 3, &mut rng); // hybrid baseline
+//! let mut trainer = Trainer::new(TrainConfig { epochs: 1, ..TrainConfig::default() });
+//! let history = trainer.train(&mut model, &data, None)?;
+//! println!("epoch-0 MSE: {:.4}", history.final_train_mse().unwrap());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use sqvae_chem as chem;
+pub use sqvae_core as core;
+pub use sqvae_datasets as datasets;
+pub use sqvae_nn as nn;
+pub use sqvae_quantum as quantum;
