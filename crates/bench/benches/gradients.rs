@@ -20,26 +20,14 @@ fn bench_adjoint_vs_paramshift(c: &mut Criterion) {
     let mut group = c.benchmark_group("gradient_engines");
     for layers in [1usize, 3, 5] {
         let (circ, params, upstream) = circuit(6, layers);
-        group.bench_with_input(
-            BenchmarkId::new("adjoint", layers),
-            &layers,
-            |b, _| {
-                b.iter(|| {
-                    adjoint::backward_expectations_z(&circ, &params, &[], None, &upstream)
-                        .unwrap()
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("paramshift", layers),
-            &layers,
-            |b, _| {
-                b.iter(|| {
-                    paramshift::vjp_expectations_z(&circ, &params, &[], None, &upstream)
-                        .unwrap()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("adjoint", layers), &layers, |b, _| {
+            b.iter(|| {
+                adjoint::backward_expectations_z(&circ, &params, &[], None, &upstream).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("paramshift", layers), &layers, |b, _| {
+            b.iter(|| paramshift::vjp_expectations_z(&circ, &params, &[], None, &upstream).unwrap())
+        });
     }
     group.finish();
 }

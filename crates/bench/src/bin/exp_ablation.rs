@@ -95,8 +95,7 @@ fn main() {
         c.extend(angle_embedding_gates(n_qubits, RotationAxis::Y, 0))
             .expect("embedding fits");
         c.extend(
-            strongly_entangling_layers(n_qubits, 3, 0, EntangleRange::Ring)
-                .expect("template fits"),
+            strongly_entangling_layers(n_qubits, 3, 0, EntangleRange::Ring).expect("template fits"),
         )
         .expect("template fits");
         let params: Vec<f64> = (0..c.n_params()).map(|i| 0.03 * i as f64 - 0.9).collect();

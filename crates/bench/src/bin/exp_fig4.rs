@@ -11,21 +11,14 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sqvae_bench::{
-    ascii_image, ascii_side_by_side, batch_matrix, print_series, section, ExpArgs,
-};
+use sqvae_bench::{ascii_image, ascii_side_by_side, batch_matrix, print_series, section, ExpArgs};
 use sqvae_chem::{smiles, MoleculeMatrix};
 use sqvae_core::{models, Autoencoder, TrainConfig, Trainer};
 use sqvae_datasets::digits::{generate as gen_digits, DigitsConfig};
 use sqvae_datasets::qm9::{generate as gen_qm9, Qm9Config};
 use sqvae_datasets::Dataset;
 
-fn train_curve(
-    model: &mut Autoencoder,
-    data: &Dataset,
-    epochs: usize,
-    seed: u64,
-) -> Vec<f64> {
+fn train_curve(model: &mut Autoencoder, data: &Dataset, epochs: usize, seed: u64) -> Vec<f64> {
     let mut trainer = Trainer::new(TrainConfig {
         epochs,
         // The paper's Fig. 4 training uses a single LR of 0.01 for curve
@@ -59,13 +52,25 @@ fn main() {
         section("Fig. 4(a): train MSE on ORIGINAL-scale Digits & QM9 (per epoch)");
         let mut rng = StdRng::seed_from_u64(args.seed);
         let mut bq_qm9 = models::h_bq_vae(64, models::BASELINE_LAYERS, &mut rng);
-        print_series("BQ-VAE-QM9", &train_curve(&mut bq_qm9, &qm9, epochs, args.seed));
+        print_series(
+            "BQ-VAE-QM9",
+            &train_curve(&mut bq_qm9, &qm9, epochs, args.seed),
+        );
         let mut cvae_qm9 = models::classical_vae(64, 6, &mut rng);
-        print_series("CVAE-QM9", &train_curve(&mut cvae_qm9, &qm9, epochs, args.seed));
+        print_series(
+            "CVAE-QM9",
+            &train_curve(&mut cvae_qm9, &qm9, epochs, args.seed),
+        );
         let mut bq_dig = models::h_bq_vae(64, models::BASELINE_LAYERS, &mut rng);
-        print_series("BQ-VAE-Digits", &train_curve(&mut bq_dig, &digits, epochs, args.seed));
+        print_series(
+            "BQ-VAE-Digits",
+            &train_curve(&mut bq_dig, &digits, epochs, args.seed),
+        );
         let mut cvae_dig = models::classical_vae(64, 6, &mut rng);
-        print_series("CVAE-Digits", &train_curve(&mut cvae_dig, &digits, epochs, args.seed));
+        print_series(
+            "CVAE-Digits",
+            &train_curve(&mut cvae_dig, &digits, epochs, args.seed),
+        );
         println!("  expected shape: classical VAE reaches lower loss at original scale");
     }
 
@@ -75,13 +80,25 @@ fn main() {
         let digits_n = digits.l1_normalized();
         let mut rng = StdRng::seed_from_u64(args.seed);
         let mut bq_qm9 = models::f_bq_vae(64, models::BASELINE_LAYERS, &mut rng);
-        print_series("BQ-VAE-QM9", &train_curve(&mut bq_qm9, &qm9_n, epochs, args.seed));
+        print_series(
+            "BQ-VAE-QM9",
+            &train_curve(&mut bq_qm9, &qm9_n, epochs, args.seed),
+        );
         let mut cvae_qm9 = models::classical_vae(64, 6, &mut rng);
-        print_series("CVAE-QM9", &train_curve(&mut cvae_qm9, &qm9_n, epochs, args.seed));
+        print_series(
+            "CVAE-QM9",
+            &train_curve(&mut cvae_qm9, &qm9_n, epochs, args.seed),
+        );
         let mut bq_dig = models::f_bq_vae(64, models::BASELINE_LAYERS, &mut rng);
-        print_series("BQ-VAE-Digits", &train_curve(&mut bq_dig, &digits_n, epochs, args.seed));
+        print_series(
+            "BQ-VAE-Digits",
+            &train_curve(&mut bq_dig, &digits_n, epochs, args.seed),
+        );
         let mut cvae_dig = models::classical_vae(64, 6, &mut rng);
-        print_series("CVAE-Digits", &train_curve(&mut cvae_dig, &digits_n, epochs, args.seed));
+        print_series(
+            "CVAE-Digits",
+            &train_curve(&mut cvae_dig, &digits_n, epochs, args.seed),
+        );
         println!("  expected shape: fully quantum BQ-VAE converges faster when normalized");
     }
 

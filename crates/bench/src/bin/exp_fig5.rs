@@ -80,8 +80,14 @@ fn main() {
             .expect("training succeeds");
             rows.push(vec![
                 lsd.to_string(),
-                format!("{:.4}", ae_hist.final_test_mse().expect("test set supplied")),
-                format!("{:.4}", vae_hist.final_test_mse().expect("test set supplied")),
+                format!(
+                    "{:.4}",
+                    ae_hist.final_test_mse().expect("test set supplied")
+                ),
+                format!(
+                    "{:.4}",
+                    vae_hist.final_test_mse().expect("test set supplied")
+                ),
             ]);
         }
         print_table(&["LSD", "AE-test-MSE", "VAE-test-MSE"], &rows);

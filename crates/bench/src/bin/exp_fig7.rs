@@ -26,10 +26,12 @@ fn main() {
     });
     let (train, _) = data.shuffle_split(0.85, args.seed);
 
-    section(format!(
-        "Fig. 7: SQ-AE (p={patches}, L={layers}) train MSE over quantum x classical LR grid"
-    )
-    .as_str());
+    section(
+        format!(
+            "Fig. 7: SQ-AE (p={patches}, L={layers}) train MSE over quantum x classical LR grid"
+        )
+        .as_str(),
+    );
 
     let mut rows = Vec::new();
     let mut best = (f64::INFINITY, 0.0, 0.0);

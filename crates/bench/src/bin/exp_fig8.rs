@@ -77,7 +77,10 @@ fn main() {
             .train_mse_series()
         };
         let mut rng = StdRng::seed_from_u64(args.seed);
-        print_series("SQ-VAE", &run(models::sq_vae(1024, p_img, layers, &mut rng)));
+        print_series(
+            "SQ-VAE",
+            &run(models::sq_vae(1024, p_img, layers, &mut rng)),
+        );
         print_series("CVAE", &run(models::classical_vae(1024, 18, &mut rng)));
         print_series("SQ-AE", &run(models::sq_ae(1024, p_img, layers, &mut rng)));
         print_series("CAE", &run(models::classical_ae(1024, 18, &mut rng)));

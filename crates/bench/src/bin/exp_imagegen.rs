@@ -17,8 +17,12 @@ use sqvae_datasets::digits::{generate as gen_digits, DigitsConfig};
 fn pixel_stats(samples: &[Vec<f64>]) -> (f64, f64) {
     let n: usize = samples.iter().map(|s| s.len()).sum();
     let mean: f64 = samples.iter().flatten().sum::<f64>() / n as f64;
-    let var: f64 =
-        samples.iter().flatten().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    let var: f64 = samples
+        .iter()
+        .flatten()
+        .map(|x| (x - mean).powi(2))
+        .sum::<f64>()
+        / n as f64;
     (mean, var.sqrt())
 }
 
@@ -55,11 +59,9 @@ fn main() {
         print!("{}", ascii_image(images.row(i), 32, 1.0));
     }
 
-    let gen_rows: Vec<Vec<f64>> = (0..images.rows())
-        .map(|r| images.row(r).to_vec())
-        .collect();
+    let gen_rows: Vec<Vec<f64>> = (0..images.rows()).map(|r| images.row(r).to_vec()).collect();
     let (gm, gs) = pixel_stats(&gen_rows);
-    let (tm, ts) = pixel_stats(&data.samples().to_vec());
+    let (tm, ts) = pixel_stats(data.samples());
     print_table_with_csv(
         "imagegen_pixel_stats",
         &["set", "pixel mean", "pixel std"],

@@ -26,9 +26,7 @@ fn main() {
     let mut c = Circuit::new(6).expect("valid register");
     c.extend(strongly_entangling_layers(6, 3, 0, EntangleRange::Ring).expect("fits"))
         .expect("fits");
-    let params: Vec<f64> = (0..c.n_params())
-        .map(|i| 0.07 * i as f64 - 1.5)
-        .collect();
+    let params: Vec<f64> = (0..c.n_params()).map(|i| 0.07 * i as f64 - 1.5).collect();
     let exact = c
         .run_expectations_z(&params, &[], None)
         .expect("execution succeeds");
@@ -53,7 +51,11 @@ fn main() {
             format!("{:.4}", 1.0 / (shots as f64).sqrt()),
         ]);
     }
-    print_table_with_csv("noise_shot_error", &["shots", "mean |error|", "1/sqrt(shots)"], &rows);
+    print_table_with_csv(
+        "noise_shot_error",
+        &["shots", "mean |error|", "1/sqrt(shots)"],
+        &rows,
+    );
     println!("  expected: error tracks the 1/sqrt(shots) statistical floor");
 
     section("Extension: depolarizing damping of the encoder outputs");
@@ -78,7 +80,11 @@ fn main() {
             format!("{:.2}", mag / clean_mag),
         ]);
     }
-    print_table_with_csv("noise_depolarizing_damping", &["p(depol)", "mean |⟨Z⟩|", "fraction of clean"], &rows);
+    print_table_with_csv(
+        "noise_depolarizing_damping",
+        &["p(depol)", "mean |⟨Z⟩|", "fraction of clean"],
+        &rows,
+    );
     println!("  expected: signal decays monotonically with gate noise");
 
     section("Extension: training-signal magnitude vs shot floor");
@@ -95,7 +101,12 @@ fn main() {
             shots.to_string(),
             format!("{grad_mag:.4}"),
             format!("{floor:.4}"),
-            if grad_mag > 2.0 * floor { "yes" } else { "marginal/no" }.to_string(),
+            if grad_mag > 2.0 * floor {
+                "yes"
+            } else {
+                "marginal/no"
+            }
+            .to_string(),
         ]);
     }
     print_table_with_csv(

@@ -32,7 +32,11 @@ fn main() {
     push(models::f_bq_ae(64, models::BASELINE_LAYERS, &mut rng));
     push(models::h_bq_vae(64, models::BASELINE_LAYERS, &mut rng));
     push(models::h_bq_ae(64, models::BASELINE_LAYERS, &mut rng));
-    print_table_with_csv("table1_parameter_counts", &["model", "quantum", "classical", "total"], &rows);
+    print_table_with_csv(
+        "table1_parameter_counts",
+        &["model", "quantum", "classical", "total"],
+        &rows,
+    );
 
     println!();
     println!("  paper: VAE 0/5694, AE 0/5610, F-BQ-VAE 108/84, F-BQ-AE 108/0,");

@@ -53,8 +53,9 @@ fn main() {
             .train(&mut vae, &train, None)
             .expect("classical training succeeds");
         let mut srng = StdRng::seed_from_u64(args.seed + 1);
-        let v = sampling::sample_molecules(&mut vae, n_samples, PDBBIND_MATRIX_SIZE, None, &mut srng)
-            .expect("sampling succeeds");
+        let v =
+            sampling::sample_molecules(&mut vae, n_samples, PDBBIND_MATRIX_SIZE, None, &mut srng)
+                .expect("sampling succeeds");
 
         // SQ-VAE with p patches.
         let mut sq = models::sq_vae(1024, p, args.pick(2, models::SCALABLE_LAYERS), &mut rng);
@@ -66,8 +67,9 @@ fn main() {
             .train(&mut sq, &train, None)
             .expect("quantum training succeeds");
         let mut srng = StdRng::seed_from_u64(args.seed + 1);
-        let q = sampling::sample_molecules(&mut sq, n_samples, PDBBIND_MATRIX_SIZE, None, &mut srng)
-            .expect("sampling succeeds");
+        let q =
+            sampling::sample_molecules(&mut sq, n_samples, PDBBIND_MATRIX_SIZE, None, &mut srng)
+                .expect("sampling succeeds");
 
         rows.push(vec![
             format!("LSD-{lsd}"),
@@ -97,8 +99,15 @@ fn main() {
     print_table_with_csv(
         "table2_drug_properties",
         &[
-            "LSD", "VAE-QED", "SQVAE-QED", "VAE-logP", "SQVAE-logP", "VAE-SA", "SQVAE-SA",
-            "VAE-valid", "SQVAE-valid",
+            "LSD",
+            "VAE-QED",
+            "SQVAE-QED",
+            "VAE-logP",
+            "SQVAE-logP",
+            "VAE-SA",
+            "SQVAE-SA",
+            "VAE-valid",
+            "SQVAE-valid",
         ],
         &rows,
     );

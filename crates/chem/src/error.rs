@@ -61,10 +61,16 @@ impl fmt::Display for ChemError {
                 write!(f, "bond between atoms {a} and {b} already exists")
             }
             ChemError::BadMatrixShape { len } => {
-                write!(f, "molecule matrix must be square and non-empty, got {len} values")
+                write!(
+                    f,
+                    "molecule matrix must be square and non-empty, got {len} values"
+                )
             }
             ChemError::MoleculeTooLarge { atoms, size } => {
-                write!(f, "molecule with {atoms} atoms does not fit a {size}x{size} matrix")
+                write!(
+                    f,
+                    "molecule with {atoms} atoms does not fit a {size}x{size} matrix"
+                )
             }
             ChemError::ParseSmiles { position, message } => {
                 write!(f, "invalid smiles at byte {position}: {message}")

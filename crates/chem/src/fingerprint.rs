@@ -171,7 +171,10 @@ mod tests {
     #[test]
     fn identical_molecules_have_identical_fingerprints() {
         assert_eq!(fingerprint(&benzene()), fingerprint(&benzene()));
-        assert_eq!(fingerprint(&benzene()).tanimoto(&fingerprint(&benzene())), 1.0);
+        assert_eq!(
+            fingerprint(&benzene()).tanimoto(&fingerprint(&benzene())),
+            1.0
+        );
     }
 
     #[test]
@@ -221,7 +224,10 @@ mod tests {
         let t = a.tanimoto(&b);
         assert!((0.0..=1.0).contains(&t));
         assert_eq!(a.tanimoto(&b), b.tanimoto(&a));
-        assert_eq!(Fingerprint::default().tanimoto(&Fingerprint::default()), 1.0);
+        assert_eq!(
+            Fingerprint::default().tanimoto(&Fingerprint::default()),
+            1.0
+        );
     }
 
     #[test]
@@ -237,10 +243,8 @@ mod tests {
         // (ring membership is an invariant); higher radius separates more.
         let mut cyc = chain(6);
         cyc.add_bond(5, 0, BondOrder::Single).unwrap();
-        let t0 = fingerprint_with_radius(&chain(6), 0)
-            .tanimoto(&fingerprint_with_radius(&cyc, 0));
-        let t2 = fingerprint_with_radius(&chain(6), 2)
-            .tanimoto(&fingerprint_with_radius(&cyc, 2));
+        let t0 = fingerprint_with_radius(&chain(6), 0).tanimoto(&fingerprint_with_radius(&cyc, 0));
+        let t2 = fingerprint_with_radius(&chain(6), 2).tanimoto(&fingerprint_with_radius(&cyc, 2));
         assert!(t2 <= t0);
     }
 

@@ -85,10 +85,10 @@ impl MoleculeMatrix {
         // Diagonal → atoms (with index remapping to skip empty slots).
         let mut remap = vec![usize::MAX; n];
         let mut mol = Molecule::new();
-        for i in 0..n {
+        for (i, slot) in remap.iter_mut().enumerate() {
             let code = round_clamp(self.get(i, i), 5);
             if let Some(e) = Element::from_matrix_code(code) {
-                remap[i] = mol.add_atom(e);
+                *slot = mol.add_atom(e);
             }
         }
         // Off-diagonal → bonds.

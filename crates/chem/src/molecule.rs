@@ -102,7 +102,10 @@ impl Molecule {
         let n = self.atoms.len();
         for idx in [a, b] {
             if idx >= n {
-                return Err(ChemError::AtomOutOfRange { index: idx, n_atoms: n });
+                return Err(ChemError::AtomOutOfRange {
+                    index: idx,
+                    n_atoms: n,
+                });
             }
         }
         if a == b {
@@ -153,9 +156,7 @@ impl Molecule {
     /// The bond between `a` and `b`, if any.
     pub fn bond_between(&self, a: usize, b: usize) -> Option<&Bond> {
         let key = Bond::new(a, b, BondOrder::Single);
-        self.bonds
-            .iter()
-            .find(|bd| bd.a == key.a && bd.b == key.b)
+        self.bonds.iter().find(|bd| bd.a == key.a && bd.b == key.b)
     }
 
     /// Neighbor atoms of `i` with the connecting bond order.
@@ -254,15 +255,22 @@ impl Molecule {
         let mut atoms = Vec::with_capacity(sorted.len());
         for (new_idx, &old) in sorted.iter().enumerate() {
             if old >= n {
-                return Err(ChemError::AtomOutOfRange { index: old, n_atoms: n });
+                return Err(ChemError::AtomOutOfRange {
+                    index: old,
+                    n_atoms: n,
+                });
             }
             remap[old] = new_idx;
             atoms.push(self.atoms[old]);
         }
-        let mut out = Molecule { atoms, bonds: Vec::new() };
+        let mut out = Molecule {
+            atoms,
+            bonds: Vec::new(),
+        };
         for bd in &self.bonds {
             if remap[bd.a] != usize::MAX && remap[bd.b] != usize::MAX {
-                out.bonds.push(Bond::new(remap[bd.a], remap[bd.b], bd.order));
+                out.bonds
+                    .push(Bond::new(remap[bd.a], remap[bd.b], bd.order));
             }
         }
         Ok(out)

@@ -18,7 +18,10 @@ pub fn molecular_weight(mol: &Molecule) -> f64 {
 
 /// Hydrogen-bond acceptors: the Lipinski count of N and O atoms.
 pub fn hb_acceptors(mol: &Molecule) -> usize {
-    mol.atoms().iter().filter(|a| a.is_hetero_acceptor()).count()
+    mol.atoms()
+        .iter()
+        .filter(|a| a.is_hetero_acceptor())
+        .count()
 }
 
 /// Hydrogen-bond donors: N or O atoms carrying at least one hydrogen.

@@ -78,9 +78,7 @@ pub fn crippen_type(mol: &Molecule, i: usize) -> CrippenType {
     let unsaturated = nbrs
         .iter()
         .any(|&(_, o)| matches!(o, BondOrder::Double | BondOrder::Triple));
-    let hetero_neighbor = nbrs
-        .iter()
-        .any(|&(n, _)| mol.element(n) != Element::C);
+    let hetero_neighbor = nbrs.iter().any(|&(n, _)| mol.element(n) != Element::C);
     match mol.element(i) {
         Element::C => {
             if aromatic {

@@ -12,7 +12,7 @@
 
 use crate::molecule::Molecule;
 use crate::properties::alerts::count_alerts;
-use crate::properties::basic::{hb_acceptors, hb_donors, molecular_weight, tpsa, rotatable_bonds};
+use crate::properties::basic::{hb_acceptors, hb_donors, molecular_weight, rotatable_bonds, tpsa};
 use crate::properties::logp::log_p;
 use crate::rings::{perceive_rings, RingInfo};
 
@@ -66,7 +66,13 @@ impl QedProperties {
 
     fn as_array(&self) -> [f64; 8] {
         [
-            self.mw, self.alogp, self.hba, self.hbd, self.psa, self.rotb, self.arom,
+            self.mw,
+            self.alogp,
+            self.hba,
+            self.hbd,
+            self.psa,
+            self.rotb,
+            self.arom,
             self.alerts,
         ]
     }

@@ -69,8 +69,10 @@ pub fn sa_score_with_rings(mol: &Molecule, rings: &RingInfo) -> f64 {
 
     // Fragment-score substitute: mean environment commonness, scaled to the
     // roughly [-4, +1] band the original fragment score occupies.
-    let frag: f64 =
-        (0..mol.n_atoms()).map(|i| environment_commonness(mol, i)).sum::<f64>() / n;
+    let frag: f64 = (0..mol.n_atoms())
+        .map(|i| environment_commonness(mol, i))
+        .sum::<f64>()
+        / n;
     let fragment_score = frag * 2.0; // spread the band
 
     // Complexity penalties (Ertl's formulas).
@@ -81,12 +83,10 @@ pub fn sa_score_with_rings(mol: &Molecule, rings: &RingInfo) -> f64 {
     } else {
         0.0
     };
-    let hetero_fraction =
-        mol.atoms().iter().filter(|&&a| a != Element::C).count() as f64 / n;
+    let hetero_fraction = mol.atoms().iter().filter(|&&a| a != Element::C).count() as f64 / n;
     let hetero_penalty = (hetero_fraction * 2.0).max(0.0);
 
-    let raw =
-        fragment_score - size_penalty - ring_info_penalty - macro_penalty - hetero_penalty;
+    let raw = fragment_score - size_penalty - ring_info_penalty - macro_penalty - hetero_penalty;
 
     // Map raw (≈ +2 easy … −8 hard) onto 1..10.
     let score = 11.0 - (raw + 8.0) / 10.0 * 9.0;

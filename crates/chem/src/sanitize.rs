@@ -45,10 +45,7 @@ pub fn sanitize(mol: &Molecule) -> Result<Sanitized> {
     let mut demoted = 0usize;
 
     loop {
-        let work = Molecule::from_parts(
-            atoms.clone(),
-            bonds.iter().map(|b| (b.a, b.b, b.order)),
-        )?;
+        let work = Molecule::from_parts(atoms.clone(), bonds.iter().map(|b| (b.a, b.b, b.order)))?;
         // Find the worst offender.
         let mut worst: Option<(usize, f64)> = None;
         for i in 0..work.n_atoms() {

@@ -26,8 +26,7 @@ pub fn murcko_scaffold(mol: &Molecule) -> Result<Option<Molecule>> {
     let mut keep: Vec<bool> = rings.atom_in_ring.clone();
     for i in 0..rings.rings.len() {
         for j in (i + 1)..rings.rings.len() {
-            if let Some(path) = shortest_path_between_sets(mol, &rings.rings[i], &rings.rings[j])
-            {
+            if let Some(path) = shortest_path_between_sets(mol, &rings.rings[i], &rings.rings[j]) {
                 for a in path {
                     keep[a] = true;
                 }
@@ -43,11 +42,7 @@ pub fn murcko_scaffold(mol: &Molecule) -> Result<Option<Molecule>> {
 }
 
 /// BFS shortest path from any atom of `from` to any atom of `to`.
-fn shortest_path_between_sets(
-    mol: &Molecule,
-    from: &[usize],
-    to: &[usize],
-) -> Option<Vec<usize>> {
+fn shortest_path_between_sets(mol: &Molecule, from: &[usize], to: &[usize]) -> Option<Vec<usize>> {
     let n = mol.n_atoms();
     let mut prev = vec![usize::MAX; n];
     let mut seen = vec![false; n];
@@ -127,10 +122,15 @@ mod tests {
             m.add_atom(Element::C);
         }
         for i in 0..6 {
-            m.add_bond(ring2_start + i, ring2_start + (i + 1) % 6, BondOrder::Aromatic)
-                .unwrap();
+            m.add_bond(
+                ring2_start + i,
+                ring2_start + (i + 1) % 6,
+                BondOrder::Aromatic,
+            )
+            .unwrap();
         }
-        m.add_bond(bridge_end, ring2_start, BondOrder::Single).unwrap();
+        m.add_bond(bridge_end, ring2_start, BondOrder::Single)
+            .unwrap();
         // A decoy side chain off the bridge.
         let decoy = m.add_atom(Element::O);
         m.add_bond(bridge_end, decoy, BondOrder::Single).unwrap();

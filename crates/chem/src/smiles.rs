@@ -53,7 +53,13 @@ pub fn write(mol: &Molecule) -> Result<String> {
         let root = comp[0];
         let mut tree_parent = vec![usize::MAX; mol.n_atoms()];
         let mut order = Vec::new();
-        dfs_tree(mol, root, &mut vec![false; mol.n_atoms()], &mut tree_parent, &mut order);
+        dfs_tree(
+            mol,
+            root,
+            &mut vec![false; mol.n_atoms()],
+            &mut tree_parent,
+            &mut order,
+        );
         // Ring bonds: bonds within the component not used by the tree.
         for bd in mol.bonds() {
             if comp.binary_search(&bd.a).is_err() {
@@ -209,10 +215,10 @@ pub fn parse(s: &str) -> Result<Molecule> {
             }
             '0'..='9' | '%' => {
                 let (digit, consumed) = if c == '%' {
-                    if i + 2 >= bytes.len() + 1 || i + 2 > bytes.len() {
+                    if i + 3 > bytes.len() {
                         return Err(err(i, "truncated %nn ring closure"));
                     }
-                    let two = &s[i + 1..(i + 3).min(s.len())];
+                    let two = &s[i + 1..i + 3];
                     let d: usize = two
                         .parse()
                         .map_err(|_| err(i, "malformed %nn ring closure"))?;
@@ -224,9 +230,7 @@ pub fn parse(s: &str) -> Result<Molecule> {
                 let bond = pending_bond.take();
                 match ring_open.remove(&digit) {
                     Some((other, opened_bond)) => {
-                        let order = bond
-                            .or(opened_bond)
-                            .unwrap_or(BondOrder::Single);
+                        let order = bond.or(opened_bond).unwrap_or(BondOrder::Single);
                         mol.add_bond(other, atom, order)
                             .map_err(|_| err(i, "invalid ring-closure bond"))?;
                     }
@@ -358,6 +362,9 @@ mod tests {
         assert!(parse(")C").is_err());
         assert!(parse("C==O").is_err());
         assert!(parse("").is_err());
+        assert!(parse("C1CC%1").is_err()); // truncated %nn ring closure
+        assert!(parse("C1CC%").is_err());
+        assert!(parse("C%ab").is_err()); // non-digit %nn closure
     }
 
     #[test]

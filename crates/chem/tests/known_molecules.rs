@@ -104,7 +104,10 @@ fn full_property_struct_on_aspirin_like() {
     assert!(valence::valences_ok(&m));
     assert_eq!(m.count_element(Element::O), 4);
     let p = DrugProperties::compute(&m);
-    assert!(p.qed > 0.2, "aspirin-like scaffold should be reasonably druglike");
+    assert!(
+        p.qed > 0.2,
+        "aspirin-like scaffold should be reasonably druglike"
+    );
     assert!(p.logp > 0.2 && p.logp < 0.9);
     assert!(p.sa > 0.4, "aspirin is easy to make");
 }

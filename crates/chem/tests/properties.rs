@@ -23,8 +23,7 @@ fn arb_valid_molecule() -> impl Strategy<Value = Molecule> {
                 // Pick an attachment point with room for one more single bond.
                 let candidates: Vec<usize> = (0..idx)
                     .filter(|&j| {
-                        mol.explicit_valence(j) + 1.0
-                            <= mol.element(j).max_valence() as f64
+                        mol.explicit_valence(j) + 1.0 <= mol.element(j).max_valence() as f64
                     })
                     .collect();
                 if candidates.is_empty() {

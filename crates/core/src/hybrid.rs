@@ -32,7 +32,9 @@ impl std::fmt::Debug for HybridStack {
                 ParamGroup::Classical => "classical",
             })
             .collect();
-        f.debug_struct("HybridStack").field("stages", &tags).finish()
+        f.debug_struct("HybridStack")
+            .field("stages", &tags)
+            .finish()
     }
 }
 
@@ -157,7 +159,7 @@ mod tests {
             let qp = s.parameters_of(ParamGroup::Quantum);
             qp[0].grad.as_slice().to_vec()
         };
-        for k in 0..grads.len() {
+        for (k, &g) in grads.iter().enumerate() {
             let mut s2 = stack();
             {
                 let mut qp = s2.parameters_of(ParamGroup::Quantum);
@@ -166,7 +168,7 @@ mod tests {
             }
             let fp = s2.forward(&x).unwrap().sum();
             let fd = (fp - base) / eps;
-            assert!((grads[k] - fd).abs() < 1e-4, "quantum param {k}: {} vs {fd}", grads[k]);
+            assert!((g - fd).abs() < 1e-4, "quantum param {k}: {g} vs {fd}");
         }
     }
 

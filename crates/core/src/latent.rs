@@ -63,17 +63,15 @@ impl GaussianLatent {
     /// # Errors
     ///
     /// Returns shape errors when `hidden` width mismatches the heads.
-    pub fn forward_sample(&mut self, hidden: &Matrix, rng: &mut impl Rng) -> Result<Matrix, NnError> {
+    pub fn forward_sample(
+        &mut self,
+        hidden: &Matrix,
+        rng: &mut impl Rng,
+    ) -> Result<Matrix, NnError> {
         let mu = self.mu_head.forward(hidden)?;
         let raw_logvar = self.logvar_head.forward(hidden)?;
         let logvar = raw_logvar.map(|lv| lv.clamp(-LOGVAR_CLAMP, LOGVAR_CLAMP));
-        let logvar_mask = raw_logvar.map(|lv| {
-            if lv.abs() < LOGVAR_CLAMP {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let logvar_mask = raw_logvar.map(|lv| if lv.abs() < LOGVAR_CLAMP { 1.0 } else { 0.0 });
         let eps = Matrix::from_fn(mu.rows(), mu.cols(), |_, _| {
             // Box-Muller standard normal.
             let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
@@ -126,10 +124,7 @@ impl GaussianLatent {
         //   dz/dlogvar = ε·exp(logvar/2)/2
         let sigma = cache.logvar.map(|lv| (0.5 * lv).exp());
         let grad_mu_recon = grad_z.clone();
-        let grad_logvar_recon = grad_z
-            .hadamard(&cache.eps)?
-            .hadamard(&sigma)?
-            .scale(0.5);
+        let grad_logvar_recon = grad_z.hadamard(&cache.eps)?.hadamard(&sigma)?.scale(0.5);
         let (_, kl_mu, kl_logvar) = loss::gaussian_kl(&cache.mu, &cache.logvar)?;
         let effective_weight = self.kl_weight * self.kl_scale;
         let mut grad_mu = grad_mu_recon;
@@ -157,7 +152,12 @@ impl GaussianLatent {
 }
 
 /// The latent stage of an autoencoder.
+///
+/// One `Latent` exists per model, so the size spread between the empty
+/// `Identity` and the two-headed `Gaussian` variant is irrelevant; boxing
+/// would only add an indirection to the training hot path.
 #[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
 pub enum Latent {
     /// No latent transformation (fully quantum AE).
     Identity,

@@ -134,7 +134,12 @@ pub fn f_bq_vae(input_dim: usize, n_layers: usize, rng: &mut impl Rng) -> Autoen
     Autoencoder::new(
         format!("F-BQ-VAE({input_dim}d)"),
         enc,
-        Latent::Gaussian(GaussianLatent::new(n_qubits, n_qubits, DEFAULT_KL_WEIGHT, rng)),
+        Latent::Gaussian(GaussianLatent::new(
+            n_qubits,
+            n_qubits,
+            DEFAULT_KL_WEIGHT,
+            rng,
+        )),
         dec,
     )
 }
@@ -160,7 +165,12 @@ pub fn h_bq_vae(input_dim: usize, n_layers: usize, rng: &mut impl Rng) -> Autoen
     Autoencoder::new(
         format!("H-BQ-VAE({input_dim}d)"),
         enc,
-        Latent::Gaussian(GaussianLatent::new(n_qubits, n_qubits, DEFAULT_KL_WEIGHT, rng)),
+        Latent::Gaussian(GaussianLatent::new(
+            n_qubits,
+            n_qubits,
+            DEFAULT_KL_WEIGHT,
+            rng,
+        )),
         dec,
     )
 }
@@ -178,8 +188,13 @@ pub fn sq_ae(input_dim: usize, p: usize, n_layers: usize, rng: &mut impl Rng) ->
     let mut dec = HybridStack::new();
     dec.push_quantum(PatchedQuantumLayer::angle_decoder(lsd, p, n_layers, rng));
     dec.push_classical(Linear::new(lsd, input_dim, rng));
-    Autoencoder::new(format!("SQ-AE(p={p},lsd={lsd})"), enc, Latent::Identity, dec)
-        .with_identity_latent_dim(lsd)
+    Autoencoder::new(
+        format!("SQ-AE(p={p},lsd={lsd})"),
+        enc,
+        Latent::Identity,
+        dec,
+    )
+    .with_identity_latent_dim(lsd)
 }
 
 /// Scalable quantum VAE (SQ-VAE) with `p` patched sub-circuits.

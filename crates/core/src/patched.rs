@@ -177,7 +177,10 @@ impl Module for PatchedQuantumLayer {
     }
 
     fn parameters(&mut self) -> Vec<&mut ParamTensor> {
-        self.patches.iter_mut().flat_map(|p| p.parameters()).collect()
+        self.patches
+            .iter_mut()
+            .flat_map(|p| p.parameters())
+            .collect()
     }
 }
 

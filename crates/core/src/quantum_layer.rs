@@ -217,10 +217,8 @@ impl Module for QuantumLayer {
                 QuantumInput::Amplitude { .. } => {
                     let init = match amplitude_embedding(row, self.circuit.n_qubits()) {
                         Ok(s) => s,
-                        Err(_) => {
-                            sqvae_quantum::StateVector::zero_state(self.circuit.n_qubits())
-                                .expect("valid register")
-                        }
+                        Err(_) => sqvae_quantum::StateVector::zero_state(self.circuit.n_qubits())
+                            .expect("valid register"),
                     };
                     match self.output_mode {
                         QuantumOutput::ExpectationZ => adjoint::backward_expectations_z(
@@ -240,20 +238,12 @@ impl Module for QuantumLayer {
                     }
                 }
                 QuantumInput::Angle => match self.output_mode {
-                    QuantumOutput::ExpectationZ => adjoint::backward_expectations_z(
-                        &self.circuit,
-                        &theta,
-                        row,
-                        None,
-                        upstream,
-                    ),
-                    QuantumOutput::Probabilities => adjoint::backward_probabilities(
-                        &self.circuit,
-                        &theta,
-                        row,
-                        None,
-                        upstream,
-                    ),
+                    QuantumOutput::ExpectationZ => {
+                        adjoint::backward_expectations_z(&self.circuit, &theta, row, None, upstream)
+                    }
+                    QuantumOutput::Probabilities => {
+                        adjoint::backward_probabilities(&self.circuit, &theta, row, None, upstream)
+                    }
                 },
             }
             .expect("validated circuit");
@@ -297,7 +287,13 @@ mod tests {
         );
         assert_eq!(amp.in_features(), 8);
         assert_eq!(amp.out_features(), 3);
-        let ang = QuantumLayer::new(3, 2, QuantumInput::Angle, QuantumOutput::Probabilities, &mut r);
+        let ang = QuantumLayer::new(
+            3,
+            2,
+            QuantumInput::Angle,
+            QuantumOutput::Probabilities,
+            &mut r,
+        );
         assert_eq!(ang.in_features(), 3);
         assert_eq!(ang.out_features(), 8);
     }
@@ -322,8 +318,13 @@ mod tests {
     #[test]
     fn probability_outputs_sum_to_one_per_row() {
         let mut r = rng();
-        let mut layer =
-            QuantumLayer::new(3, 1, QuantumInput::Angle, QuantumOutput::Probabilities, &mut r);
+        let mut layer = QuantumLayer::new(
+            3,
+            1,
+            QuantumInput::Angle,
+            QuantumOutput::Probabilities,
+            &mut r,
+        );
         let x = Matrix::from_fn(3, 3, |i, j| 0.2 * (i + j) as f64);
         let y = layer.forward(&x).unwrap();
         for row in 0..3 {
@@ -335,8 +336,13 @@ mod tests {
     #[test]
     fn rejects_wrong_input_width() {
         let mut r = rng();
-        let mut layer =
-            QuantumLayer::new(2, 1, QuantumInput::Angle, QuantumOutput::ExpectationZ, &mut r);
+        let mut layer = QuantumLayer::new(
+            2,
+            1,
+            QuantumInput::Angle,
+            QuantumOutput::ExpectationZ,
+            &mut r,
+        );
         assert!(layer.forward(&Matrix::zeros(1, 5)).is_err());
         assert!(layer.backward(&Matrix::zeros(1, 2)).is_err()); // before forward
     }
@@ -389,8 +395,13 @@ mod tests {
     #[test]
     fn input_gradients_flow_through_angle_embedding() {
         let mut r = rng();
-        let mut layer =
-            QuantumLayer::new(2, 1, QuantumInput::Angle, QuantumOutput::ExpectationZ, &mut r);
+        let mut layer = QuantumLayer::new(
+            2,
+            1,
+            QuantumInput::Angle,
+            QuantumOutput::ExpectationZ,
+            &mut r,
+        );
         let x = Matrix::from_rows(&[&[0.3, -0.6]]).unwrap();
         let y = layer.forward(&x).unwrap();
         let base = y.sum();
@@ -433,8 +444,13 @@ mod tests {
             QuantumOutput::ExpectationZ,
             &mut r,
         );
-        let mut dec =
-            QuantumLayer::new(6, 3, QuantumInput::Angle, QuantumOutput::Probabilities, &mut r);
+        let mut dec = QuantumLayer::new(
+            6,
+            3,
+            QuantumInput::Angle,
+            QuantumOutput::Probabilities,
+            &mut r,
+        );
         assert_eq!(enc.parameter_count() + dec.parameter_count(), 108);
     }
 }

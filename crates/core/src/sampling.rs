@@ -96,10 +96,7 @@ pub struct GenerationMetrics {
 }
 
 /// Scores a sample batch against its training set.
-pub fn generation_metrics(
-    sampled: &SampledMolecules,
-    training: &[Molecule],
-) -> GenerationMetrics {
+pub fn generation_metrics(sampled: &SampledMolecules, training: &[Molecule]) -> GenerationMetrics {
     let n = sampled.molecules.len();
     if n == 0 {
         return GenerationMetrics {
@@ -144,8 +141,8 @@ pub fn reconstruct_molecule(
     normalize_input: bool,
     rescale: Option<f64>,
 ) -> Result<Option<Molecule>, NnError> {
-    let matrix = MoleculeMatrix::encode(mol, size)
-        .expect("caller guarantees the molecule fits the matrix");
+    let matrix =
+        MoleculeMatrix::encode(mol, size).expect("caller guarantees the molecule fits the matrix");
     let matrix = if normalize_input {
         matrix.l1_normalized()
     } else {
@@ -203,10 +200,8 @@ mod tests {
         };
         let mut m1 = build();
         let mut m2 = build();
-        let out1 =
-            sample_molecules(&mut m1, 5, 8, None, &mut StdRng::seed_from_u64(9)).unwrap();
-        let out2 =
-            sample_molecules(&mut m2, 5, 8, None, &mut StdRng::seed_from_u64(9)).unwrap();
+        let out1 = sample_molecules(&mut m1, 5, 8, None, &mut StdRng::seed_from_u64(9)).unwrap();
+        let out2 = sample_molecules(&mut m2, 5, 8, None, &mut StdRng::seed_from_u64(9)).unwrap();
         assert_eq!(out1.molecules, out2.molecules);
     }
 
@@ -220,9 +215,8 @@ mod tests {
         let plain = sample_molecules(&mut model, 10, 8, None, &mut srng).unwrap();
         let mut srng = StdRng::seed_from_u64(5);
         let scaled = sample_molecules(&mut model, 10, 8, Some(30.0), &mut srng).unwrap();
-        let atoms = |s: &SampledMolecules| -> usize {
-            s.molecules.iter().map(|m| m.n_atoms()).sum()
-        };
+        let atoms =
+            |s: &SampledMolecules| -> usize { s.molecules.iter().map(|m| m.n_atoms()).sum() };
         assert!(atoms(&scaled) >= atoms(&plain));
     }
 

@@ -118,7 +118,10 @@ impl History {
         let mut out = String::from("epoch,train_mse,train_kl,test_mse\n");
         for r in &self.records {
             let test = r.test_mse.map_or(String::new(), |t| format!("{t}"));
-            out.push_str(&format!("{},{},{},{}\n", r.epoch, r.train_mse, r.train_kl, test));
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                r.epoch, r.train_mse, r.train_kl, test
+            ));
         }
         out
     }
@@ -193,8 +196,7 @@ impl Trainer {
         let mut stale_epochs = 0usize;
         for epoch in 0..self.config.epochs {
             if self.config.kl_warmup_epochs > 0 {
-                let scale =
-                    ((epoch + 1) as f64 / self.config.kl_warmup_epochs as f64).min(1.0);
+                let scale = ((epoch + 1) as f64 / self.config.kl_warmup_epochs as f64).min(1.0);
                 model.set_kl_scale(scale);
             }
             let data = if self.config.shuffle {
@@ -324,7 +326,10 @@ mod tests {
         let hist = trainer.train(&mut model, &data, None).unwrap();
         let first = hist.records.first().unwrap().train_mse;
         let last = hist.final_train_mse().unwrap();
-        assert!(last < first, "hybrid loss should decrease: {first} -> {last}");
+        assert!(
+            last < first,
+            "hybrid loss should decrease: {first} -> {last}"
+        );
     }
 
     #[test]
@@ -403,13 +408,15 @@ mod tests {
         assert!(clipped.final_train_mse().unwrap().is_finite());
         assert!(free.final_train_mse().unwrap().is_finite());
         // Clipping must not prevent learning…
-        assert!(
-            clipped.final_train_mse().unwrap() <= clipped.records[0].train_mse + 1e-9
-        );
+        assert!(clipped.final_train_mse().unwrap() <= clipped.records[0].train_mse + 1e-9);
         // …and every clipped epoch stays on the data scale (inputs ∈ [0, 2),
         // so per-element MSE can never legitimately exceed ~4 by much).
         for r in &clipped.records {
-            assert!(r.train_mse < 10.0, "clipped epoch spiked to {}", r.train_mse);
+            assert!(
+                r.train_mse < 10.0,
+                "clipped epoch spiked to {}",
+                r.train_mse
+            );
         }
     }
 

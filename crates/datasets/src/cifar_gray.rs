@@ -50,8 +50,8 @@ pub fn render_image(class: usize, rng: &mut impl Rng) -> Vec<f64> {
             let u = x / (n - 1) as f64;
             let v = y / (n - 1) as f64;
             let value = match class {
-                0 => u,                                            // horizontal gradient
-                1 => v,                                            // vertical gradient
+                0 => u,                                                     // horizontal gradient
+                1 => v,                                                     // vertical gradient
                 2 => 0.5 + 0.5 * ((u + v) * freq * PI * 2.0 + phase).sin(), // diagonal stripes
                 3 => {
                     // checkerboard
@@ -72,9 +72,8 @@ pub fn render_image(class: usize, rng: &mut impl Rng) -> Vec<f64> {
                     // two blobs
                     let d1 = (x - cx).powi(2) + (y - cy).powi(2);
                     let d2 = (x - (n as f64 - cx)).powi(2) + (y - (n as f64 - cy)).powi(2);
-                    ((-d1 / (2.0 * spread * spread)).exp()
-                        + (-d2 / (2.0 * spread * spread)).exp())
-                    .min(1.0)
+                    ((-d1 / (2.0 * spread * spread)).exp() + (-d2 / (2.0 * spread * spread)).exp())
+                        .min(1.0)
                 }
                 6 => {
                     // concentric rings
@@ -98,7 +97,8 @@ pub fn render_image(class: usize, rng: &mut impl Rng) -> Vec<f64> {
     }
     // Pixel noise.
     for p in &mut img {
-        *p = (*p + rng.gen_range(-0.04..0.04)).clamp(0.0, 1.0);
+        let noise: f64 = rng.gen_range(-0.04..0.04);
+        *p = (*p + noise).clamp(0.0, 1.0);
     }
     img
 }
@@ -154,7 +154,10 @@ mod tests {
             last - first
         };
         assert!(col_slope(&h) > 10.0, "horizontal gradient should rise");
-        assert!(col_slope(&v).abs() < 5.0, "vertical gradient is flat by column");
+        assert!(
+            col_slope(&v).abs() < 5.0,
+            "vertical gradient is flat by column"
+        );
     }
 
     #[test]
@@ -163,7 +166,10 @@ mod tests {
         for class in 0..10 {
             let img = render_image(class, &mut rng);
             let mean: f64 = img.iter().sum::<f64>() / img.len() as f64;
-            assert!(mean > 0.01 && mean < 0.99, "class {class} degenerate: {mean}");
+            assert!(
+                mean > 0.01 && mean < 0.99,
+                "class {class} degenerate: {mean}"
+            );
         }
     }
 

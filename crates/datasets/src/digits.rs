@@ -84,17 +84,16 @@ pub fn render_digit(class: usize, rng: &mut impl Rng) -> Vec<f64> {
     let glyph = &GLYPHS[class];
     let dx: isize = rng.gen_range(-1..=1);
     let dy: isize = rng.gen_range(-1..=1);
-    let peak = rng.gen_range(11.0..=MAX_INTENSITY);
+    let peak: f64 = rng.gen_range(11.0..=MAX_INTENSITY);
     let mut img = vec![0.0f64; DIGIT_SIZE * DIGIT_SIZE];
     for (r, row) in glyph.iter().enumerate() {
         for (c, ch) in row.bytes().enumerate() {
             if ch == b'#' {
                 let rr = r as isize + dy;
                 let cc = c as isize + dx;
-                if (0..DIGIT_SIZE as isize).contains(&rr)
-                    && (0..DIGIT_SIZE as isize).contains(&cc)
+                if (0..DIGIT_SIZE as isize).contains(&rr) && (0..DIGIT_SIZE as isize).contains(&cc)
                 {
-                    let fade = rng.gen_range(0.75..=1.0);
+                    let fade: f64 = rng.gen_range(0.75..=1.0);
                     img[rr as usize * DIGIT_SIZE + cc as usize] = (peak * fade).round();
                 }
             }

@@ -39,11 +39,7 @@ impl GrowthConfig {
         GrowthConfig {
             min_atoms: 4,
             max_atoms: 8,
-            element_weights: vec![
-                (Element::C, 0.75),
-                (Element::N, 0.12),
-                (Element::O, 0.13),
-            ],
+            element_weights: vec![(Element::C, 0.75), (Element::N, 0.12), (Element::O, 0.13)],
             p_aromatic_seed: 0.12,
             p_ring_insert: 0.0,
             p_double: 0.20,
@@ -102,7 +98,11 @@ fn add_aromatic_ring(mol: &mut Molecule, rng: &mut impl Rng) -> Vec<usize> {
     };
     let mut ids = Vec::with_capacity(6);
     for k in 0..6 {
-        let e = if Some(k) == n_pos { Element::N } else { Element::C };
+        let e = if Some(k) == n_pos {
+            Element::N
+        } else {
+            Element::C
+        };
         ids.push(mol.add_atom(e));
     }
     for k in 0..6 {
@@ -131,11 +131,10 @@ pub fn grow_molecule(cfg: &GrowthConfig, rng: &mut impl Rng) -> Molecule {
         let remaining = target - mol.n_atoms();
         // Whole-ring insertion.
         if remaining >= 6 && rng.gen_bool(cfg.p_ring_insert) {
-            let anchor_candidates: Vec<usize> =
-                (0..mol.n_atoms()).filter(|&i| available(&mol, i) >= 1.0).collect();
-            if let Some(&anchor) =
-                pick(&anchor_candidates, rng)
-            {
+            let anchor_candidates: Vec<usize> = (0..mol.n_atoms())
+                .filter(|&i| available(&mol, i) >= 1.0)
+                .collect();
+            if let Some(&anchor) = pick(&anchor_candidates, rng) {
                 let ring = add_aromatic_ring(&mut mol, rng);
                 // Ring carbons keep 1.0 spare valence; nitrogen does not.
                 let attach = ring
@@ -149,31 +148,30 @@ pub fn grow_molecule(cfg: &GrowthConfig, rng: &mut impl Rng) -> Molecule {
         }
         // Single-atom growth.
         let e = sample_element(&cfg.element_weights, rng);
-        let candidates: Vec<usize> =
-            (0..mol.n_atoms()).filter(|&i| available(&mol, i) >= 1.0).collect();
+        let candidates: Vec<usize> = (0..mol.n_atoms())
+            .filter(|&i| available(&mol, i) >= 1.0)
+            .collect();
         let Some(&attach) = pick(&candidates, rng) else {
             break; // everything saturated (e.g. pure pyridine seed)
         };
         let idx = mol.add_atom(e);
         let room = available(&mol, attach).min(e.default_valence() as f64);
-        let order = if room >= 3.0
-            && e != Element::O
-            && e != Element::F
-            && rng.gen_bool(cfg.p_triple)
-        {
-            BondOrder::Triple
-        } else if room >= 2.0 && e != Element::F && rng.gen_bool(cfg.p_double) {
-            BondOrder::Double
-        } else {
-            BondOrder::Single
-        };
+        let order =
+            if room >= 3.0 && e != Element::O && e != Element::F && rng.gen_bool(cfg.p_triple) {
+                BondOrder::Triple
+            } else if room >= 2.0 && e != Element::F && rng.gen_bool(cfg.p_double) {
+                BondOrder::Double
+            } else {
+                BondOrder::Single
+            };
         mol.add_bond(idx, attach, order).expect("fresh growth bond");
     }
 
     // Ring-closure moves: connect two distant atoms with spare valence.
     for _ in 0..cfg.ring_closure_attempts {
-        let open: Vec<usize> =
-            (0..mol.n_atoms()).filter(|&i| available(&mol, i) >= 1.0).collect();
+        let open: Vec<usize> = (0..mol.n_atoms())
+            .filter(|&i| available(&mol, i) >= 1.0)
+            .collect();
         if open.len() < 2 {
             break;
         }
@@ -185,7 +183,8 @@ pub fn grow_molecule(cfg: &GrowthConfig, rng: &mut impl Rng) -> Molecule {
         // Only close reasonable ring sizes (graph distance 2..=6).
         if let Some(d) = graph_distance(&mol, a, b) {
             if (2..=6).contains(&d) {
-                mol.add_bond(a, b, BondOrder::Single).expect("checked fresh");
+                mol.add_bond(a, b, BondOrder::Single)
+                    .expect("checked fresh");
             }
         }
     }

@@ -115,7 +115,7 @@ mod tests {
         });
         for s in ds.samples() {
             for &v in s {
-                assert!(v >= 0.0 && v <= 5.0);
+                assert!((0.0..=5.0).contains(&v));
                 assert_eq!(v, v.round());
             }
         }

@@ -172,8 +172,11 @@ mod tests {
     #[test]
     fn backward_masks_gradient_through_relu() {
         let mut a = Activation::new(ActivationKind::Relu);
-        a.forward(&Matrix::from_rows(&[&[-1.0, 1.0]]).unwrap()).unwrap();
-        let g = a.backward(&Matrix::from_rows(&[&[5.0, 5.0]]).unwrap()).unwrap();
+        a.forward(&Matrix::from_rows(&[&[-1.0, 1.0]]).unwrap())
+            .unwrap();
+        let g = a
+            .backward(&Matrix::from_rows(&[&[5.0, 5.0]]).unwrap())
+            .unwrap();
         assert_eq!(g.as_slice(), &[0.0, 5.0]);
     }
 

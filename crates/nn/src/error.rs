@@ -60,6 +60,8 @@ mod tests {
             actual: (3, 2),
         };
         assert_eq!(e.to_string(), "shape mismatch: expected 2x3, got 3x2");
-        assert!(NnError::BackwardBeforeForward.to_string().contains("backward"));
+        assert!(NnError::BackwardBeforeForward
+            .to_string()
+            .contains("backward"));
     }
 }

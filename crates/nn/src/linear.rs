@@ -123,10 +123,7 @@ mod tests {
         let mut l = fixed_layer();
         let x = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 1.0]]).unwrap();
         let y = l.forward(&x).unwrap();
-        assert_eq!(
-            y,
-            Matrix::from_rows(&[&[1.5, 1.5], &[8.5, 9.5]]).unwrap()
-        );
+        assert_eq!(y, Matrix::from_rows(&[&[1.5, 1.5], &[8.5, 9.5]]).unwrap());
     }
 
     #[test]

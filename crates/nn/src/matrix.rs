@@ -367,8 +367,7 @@ impl Matrix {
             let arow = self.row(i);
             for j in 0..other.rows {
                 let brow = other.row(j);
-                out.data[i * other.rows + j] =
-                    arow.iter().zip(brow).map(|(&a, &b)| a * b).sum();
+                out.data[i * other.rows + j] = arow.iter().zip(brow).map(|(&a, &b)| a * b).sum();
             }
         }
         Ok(out)
@@ -574,7 +573,10 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
         let c = a.matmul(&b).unwrap();
-        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap()
+        );
     }
 
     #[test]
@@ -617,8 +619,14 @@ mod tests {
     fn elementwise_ops() {
         let a = Matrix::from_rows(&[&[1.0, -2.0]]).unwrap();
         let b = Matrix::from_rows(&[&[3.0, 4.0]]).unwrap();
-        assert_eq!(a.add(&b).unwrap(), Matrix::from_rows(&[&[4.0, 2.0]]).unwrap());
-        assert_eq!(a.sub(&b).unwrap(), Matrix::from_rows(&[&[-2.0, -6.0]]).unwrap());
+        assert_eq!(
+            a.add(&b).unwrap(),
+            Matrix::from_rows(&[&[4.0, 2.0]]).unwrap()
+        );
+        assert_eq!(
+            a.sub(&b).unwrap(),
+            Matrix::from_rows(&[&[-2.0, -6.0]]).unwrap()
+        );
         assert_eq!(
             a.hadamard(&b).unwrap(),
             Matrix::from_rows(&[&[3.0, -8.0]]).unwrap()

@@ -168,6 +168,9 @@ mod tests {
         m.backward(&Matrix::filled(1, 3, 1.0)).unwrap();
         assert!(m.parameters().iter().any(|p| p.grad.frobenius_norm() > 0.0));
         m.zero_grad();
-        assert!(m.parameters().iter().all(|p| p.grad.frobenius_norm() == 0.0));
+        assert!(m
+            .parameters()
+            .iter()
+            .all(|p| p.grad.frobenius_norm() == 0.0));
     }
 }

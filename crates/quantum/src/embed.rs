@@ -163,7 +163,8 @@ mod tests {
     #[test]
     fn angle_embedding_encodes_each_feature_on_its_wire() {
         let mut c = Circuit::new(2).unwrap();
-        c.extend(angle_embedding_gates(2, RotationAxis::Y, 0)).unwrap();
+        c.extend(angle_embedding_gates(2, RotationAxis::Y, 0))
+            .unwrap();
         let inputs = [0.4, 1.1];
         let z = c.run_expectations_z(&[], &inputs, None).unwrap();
         // RY(θ)|0⟩ gives ⟨Z⟩ = cos θ on each wire independently.
@@ -181,7 +182,8 @@ mod tests {
     #[test]
     fn z_axis_embedding_leaves_basis_probabilities() {
         let mut c = Circuit::new(1).unwrap();
-        c.extend(angle_embedding_gates(1, RotationAxis::Z, 0)).unwrap();
+        c.extend(angle_embedding_gates(1, RotationAxis::Z, 0))
+            .unwrap();
         let z = c.run_expectations_z(&[], &[0.9], None).unwrap();
         assert!((z[0] - 1.0).abs() < 1e-12); // phases don't move |0⟩ populations
     }

@@ -64,13 +64,22 @@ impl fmt::Display for QuantumError {
                 write!(f, "cannot normalize a zero-norm amplitude vector")
             }
             QuantumError::ParamCountMismatch { expected, actual } => {
-                write!(f, "parameter count mismatch: circuit uses {expected}, got {actual}")
+                write!(
+                    f,
+                    "parameter count mismatch: circuit uses {expected}, got {actual}"
+                )
             }
             QuantumError::InputCountMismatch { expected, actual } => {
-                write!(f, "input count mismatch: circuit uses {expected}, got {actual}")
+                write!(
+                    f,
+                    "input count mismatch: circuit uses {expected}, got {actual}"
+                )
             }
             QuantumError::UnsupportedRegisterSize { n_qubits } => {
-                write!(f, "unsupported register size of {n_qubits} qubits (must be 1..=24)")
+                write!(
+                    f,
+                    "unsupported register size of {n_qubits} qubits (must be 1..=24)"
+                )
             }
         }
     }
@@ -87,7 +96,10 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_informative() {
-        let e = QuantumError::WireOutOfRange { wire: 7, n_qubits: 4 };
+        let e = QuantumError::WireOutOfRange {
+            wire: 7,
+            n_qubits: 4,
+        };
         assert_eq!(e.to_string(), "wire 7 out of range for 4-qubit register");
         let e = QuantumError::ZeroNorm;
         assert!(e.to_string().contains("zero-norm"));

@@ -310,7 +310,10 @@ pub fn t_matrix() -> [[C64; 2]; 2] {
 pub fn t_dagger_matrix() -> [[C64; 2]; 2] {
     [
         [C64::ONE, C64::ZERO],
-        [C64::ZERO, C64::from_polar(1.0, -std::f64::consts::FRAC_PI_4)],
+        [
+            C64::ZERO,
+            C64::from_polar(1.0, -std::f64::consts::FRAC_PI_4),
+        ],
     ]
 }
 
@@ -327,10 +330,7 @@ pub fn rx_matrix(theta: f64) -> [[C64; 2]; 2] {
 /// of the paper lists its matrix).
 pub fn ry_matrix(theta: f64) -> [[C64; 2]; 2] {
     let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
-    [
-        [C64::real(c), C64::real(-s)],
-        [C64::real(s), C64::real(c)],
-    ]
+    [[C64::real(c), C64::real(-s)], [C64::real(s), C64::real(c)]]
 }
 
 /// `RZ(θ) = diag(e^{-iθ/2}, e^{iθ/2})`.

@@ -145,7 +145,8 @@ mod tests {
     fn input_gradient_through_angle_embedding() {
         // ⟨Z₀⟩ of RY(x)|0⟩ = cos x, so dE/dx = -sin x.
         let mut c = Circuit::new(1).unwrap();
-        c.extend(angle_embedding_gates(1, RotationAxis::Y, 0)).unwrap();
+        c.extend(angle_embedding_gates(1, RotationAxis::Y, 0))
+            .unwrap();
         let x = 1.04;
         let g = backward_expectations_z(&c, &[], &[x], None, &[1.0]).unwrap();
         assert!((g.inputs[0] + x.sin()).abs() < 1e-12);
@@ -167,10 +168,8 @@ mod tests {
     #[test]
     fn probability_readout_gradient_matches_finite_difference() {
         let mut c = Circuit::new(2).unwrap();
-        c.extend(
-            strongly_entangling_layers(2, 2, 0, EntangleRange::Ring).unwrap(),
-        )
-        .unwrap();
+        c.extend(strongly_entangling_layers(2, 2, 0, EntangleRange::Ring).unwrap())
+            .unwrap();
         let n = c.n_params();
         let params: Vec<f64> = (0..n).map(|i| 0.1 + 0.13 * i as f64).collect();
         // Loss: sum_i w_i p_i with arbitrary weights.
@@ -207,15 +206,12 @@ mod tests {
     #[test]
     fn gradient_with_amplitude_embedded_initial_state() {
         let mut c = Circuit::new(2).unwrap();
-        c.extend(
-            strongly_entangling_layers(2, 1, 0, EntangleRange::Ring).unwrap(),
-        )
-        .unwrap();
+        c.extend(strongly_entangling_layers(2, 1, 0, EntangleRange::Ring).unwrap())
+            .unwrap();
         let init = amplitude_embedding(&[0.2, 0.4, 0.6, 0.8], 2).unwrap();
         let params: Vec<f64> = (0..c.n_params()).map(|i| 0.07 * (i + 1) as f64).collect();
         let upstream = [1.0, -0.5];
-        let g =
-            backward_expectations_z(&c, &params, &[], Some(&init), &upstream).unwrap();
+        let g = backward_expectations_z(&c, &params, &[], Some(&init), &upstream).unwrap();
         // Finite-difference oracle on L = z0 - 0.5 z1.
         let loss = |p: &[f64]| {
             let z = c.run_expectations_z(p, &[], Some(&init)).unwrap();
@@ -245,8 +241,15 @@ mod tests {
         let eps = 1e-6;
         let f = |t: f64| c.run_expectations_z(&[t], &[], None).unwrap()[1];
         let fd = (f(theta + eps) - f(theta - eps)) / (2.0 * eps);
-        assert!((g.params[0] - fd).abs() < 1e-5, "adjoint={} fd={fd}", g.params[0]);
-        assert!(g.params[0].abs() > 1e-3, "test should exercise a non-zero gradient");
+        assert!(
+            (g.params[0] - fd).abs() < 1e-5,
+            "adjoint={} fd={fd}",
+            g.params[0]
+        );
+        assert!(
+            g.params[0].abs() > 1e-3,
+            "test should exercise a non-zero gradient"
+        );
     }
 
     #[test]

@@ -92,12 +92,8 @@ mod tests {
         c.extend(strongly_entangling_layers(2, 2, 0, EntangleRange::Ring).unwrap())
             .unwrap();
         let params: Vec<f64> = (0..c.n_params()).map(|i| 0.11 * (i + 1) as f64).collect();
-        let measure = |s: &StateVector| {
-            vec![
-                s.expectation_z(0).unwrap(),
-                s.expectation_z(1).unwrap(),
-            ]
-        };
+        let measure =
+            |s: &StateVector| vec![s.expectation_z(0).unwrap(), s.expectation_z(1).unwrap()];
         let fd = jacobian_params(&c, &params, &[], None, DEFAULT_EPS, measure).unwrap();
         let (ps, _) = paramshift::jacobian_expectations_z(&c, &params, &[], None).unwrap();
         for (rf, rp) in fd.iter().zip(&ps) {

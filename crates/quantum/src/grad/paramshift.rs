@@ -24,6 +24,9 @@ use crate::grad::CircuitGradients;
 use crate::state::StateVector;
 use std::f64::consts::FRAC_PI_2;
 
+/// Jacobian pair `(jac_params, jac_inputs)` with `jac[p][o] = ∂out_o/∂θ_p`.
+pub type JacobianPair = (Vec<Vec<f64>>, Vec<Vec<f64>>);
+
 /// Shift coefficients for the four-term controlled-rotation rule.
 const FOUR_TERM_C_PLUS: f64 = (std::f64::consts::SQRT_2 + 1.0) / (4.0 * std::f64::consts::SQRT_2);
 const FOUR_TERM_C_MINUS: f64 = (std::f64::consts::SQRT_2 - 1.0) / (4.0 * std::f64::consts::SQRT_2);
@@ -69,7 +72,7 @@ pub fn jacobian<F>(
     inputs: &[f64],
     initial: Option<&StateVector>,
     measure: F,
-) -> Result<(Vec<Vec<f64>>, Vec<Vec<f64>>)>
+) -> Result<JacobianPair>
 where
     F: Fn(&StateVector) -> Vec<f64>,
 {
@@ -87,7 +90,10 @@ where
         let Some((is_train, idx)) = binding else {
             continue;
         };
-        let theta = gate.param().expect("binding implies param").resolve(params, inputs);
+        let theta = gate
+            .param()
+            .expect("binding implies param")
+            .resolve(params, inputs);
 
         let eval = |t: f64| -> Result<Vec<f64>> {
             Ok(measure(&run_with_override(
@@ -98,16 +104,17 @@ where
         let grad: Vec<f64> = if gate.is_single_qubit_rotation() {
             let plus = eval(theta + FRAC_PI_2)?;
             let minus = eval(theta - FRAC_PI_2)?;
-            plus.iter().zip(&minus).map(|(p, m)| (p - m) / 2.0).collect()
+            plus.iter()
+                .zip(&minus)
+                .map(|(p, m)| (p - m) / 2.0)
+                .collect()
         } else if gate.is_controlled_rotation() {
             let p1 = eval(theta + FRAC_PI_2)?;
             let m1 = eval(theta - FRAC_PI_2)?;
             let p2 = eval(theta + 3.0 * FRAC_PI_2)?;
             let m2 = eval(theta - 3.0 * FRAC_PI_2)?;
             (0..n_out)
-                .map(|o| {
-                    FOUR_TERM_C_PLUS * (p1[o] - m1[o]) - FOUR_TERM_C_MINUS * (p2[o] - m2[o])
-                })
+                .map(|o| FOUR_TERM_C_PLUS * (p1[o] - m1[o]) - FOUR_TERM_C_MINUS * (p2[o] - m2[o]))
                 .collect()
         } else {
             continue;
@@ -135,7 +142,7 @@ pub fn jacobian_expectations_z(
     params: &[f64],
     inputs: &[f64],
     initial: Option<&StateVector>,
-) -> Result<(Vec<Vec<f64>>, Vec<Vec<f64>>)> {
+) -> Result<JacobianPair> {
     let n = circuit.n_qubits();
     jacobian(circuit, params, inputs, initial, |s| {
         (0..n)
@@ -154,7 +161,7 @@ pub fn jacobian_probabilities(
     params: &[f64],
     inputs: &[f64],
     initial: Option<&StateVector>,
-) -> Result<(Vec<Vec<f64>>, Vec<Vec<f64>>)> {
+) -> Result<JacobianPair> {
     jacobian(circuit, params, inputs, initial, |s| s.probabilities())
 }
 
@@ -217,7 +224,8 @@ mod tests {
     #[test]
     fn jacobian_covers_inputs() {
         let mut c = Circuit::new(2).unwrap();
-        c.extend(angle_embedding_gates(2, RotationAxis::Y, 0)).unwrap();
+        c.extend(angle_embedding_gates(2, RotationAxis::Y, 0))
+            .unwrap();
         let x = [0.4, -0.8];
         let (_, ji) = jacobian_expectations_z(&c, &[], &x, None).unwrap();
         assert!((ji[0][0] + x[0].sin()).abs() < 1e-12);
@@ -228,15 +236,15 @@ mod tests {
     #[test]
     fn matches_adjoint_on_entangling_circuit() {
         let mut c = Circuit::new(3).unwrap();
-        c.extend(angle_embedding_gates(3, RotationAxis::Y, 0)).unwrap();
+        c.extend(angle_embedding_gates(3, RotationAxis::Y, 0))
+            .unwrap();
         c.extend(strongly_entangling_layers(3, 2, 0, EntangleRange::Ring).unwrap())
             .unwrap();
         let params: Vec<f64> = (0..c.n_params()).map(|i| 0.05 * (i as f64) - 0.4).collect();
         let inputs = [0.3, -0.2, 0.9];
         let upstream = [0.7, -1.1, 0.4];
         let ps = vjp_expectations_z(&c, &params, &inputs, None, &upstream).unwrap();
-        let adj =
-            adjoint::backward_expectations_z(&c, &params, &inputs, None, &upstream).unwrap();
+        let adj = adjoint::backward_expectations_z(&c, &params, &inputs, None, &upstream).unwrap();
         for (a, b) in ps.params.iter().zip(&adj.params) {
             assert!((a - b).abs() < 1e-10, "params {a} vs {b}");
         }

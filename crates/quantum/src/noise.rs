@@ -23,7 +23,9 @@ pub struct NoiseModel {
 impl NoiseModel {
     /// A noiseless model (trajectories reduce to exact simulation).
     pub fn noiseless() -> Self {
-        NoiseModel { p_depolarizing: 0.0 }
+        NoiseModel {
+            p_depolarizing: 0.0,
+        }
     }
 
     /// A model with the given per-gate depolarizing probability.
@@ -134,16 +136,8 @@ mod tests {
         let mut c = Circuit::new(1).unwrap();
         c.ry(0, Param::Fixed(0.3)).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
-        let clean = noisy_expectations_z(
-            &c,
-            &[],
-            &[],
-            None,
-            NoiseModel::noiseless(),
-            1,
-            &mut rng,
-        )
-        .unwrap()[0];
+        let clean = noisy_expectations_z(&c, &[], &[], None, NoiseModel::noiseless(), 1, &mut rng)
+            .unwrap()[0];
         let noisy = noisy_expectations_z(
             &c,
             &[],

@@ -283,7 +283,11 @@ impl StateVector {
     ///
     /// Panics if `d.len() != self.dim()`.
     pub fn expectation_diagonal(&self, d: &[f64]) -> f64 {
-        assert_eq!(d.len(), self.dim(), "diagonal observable dimension mismatch");
+        assert_eq!(
+            d.len(),
+            self.dim(),
+            "diagonal observable dimension mismatch"
+        );
         self.amps
             .iter()
             .zip(d)

@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use sqvae_quantum::{
-    hadamard, pauli_x, pauli_y, pauli_z, rx_matrix, ry_matrix, rz_matrix, Circuit, Gate,
-    Param, StateVector, C64,
+    hadamard, pauli_x, pauli_y, pauli_z, rx_matrix, ry_matrix, rz_matrix, Circuit, Gate, Param,
+    StateVector, C64,
 };
 
 fn assert_unitary(m: &[[C64; 2]; 2]) {
@@ -12,8 +12,8 @@ fn assert_unitary(m: &[[C64; 2]; 2]) {
     for r in 0..2 {
         for c in 0..2 {
             let mut s = C64::ZERO;
-            for k in 0..2 {
-                s += m[r][k] * m[c][k].conj();
+            for (a, b) in m[r].iter().zip(m[c].iter()) {
+                s += *a * b.conj();
             }
             let expected = if r == c { C64::ONE } else { C64::ZERO };
             assert!(s.approx_eq(expected, 1e-12), "M·M†[{r}][{c}] = {s}");
@@ -70,8 +70,8 @@ fn ghz_state_statistics() {
     let p = state.probabilities();
     assert!((p[0] - 0.5).abs() < 1e-12);
     assert!((p[7] - 0.5).abs() < 1e-12);
-    for i in 1..7 {
-        assert!(p[i].abs() < 1e-12);
+    for &q in &p[1..7] {
+        assert!(q.abs() < 1e-12);
     }
     // Every single-qubit ⟨Z⟩ is zero, every variance is 1.
     for w in 0..3 {
@@ -93,7 +93,10 @@ fn cz_phase_is_basis_dependent() {
         }
         Gate::CZ(0, 1).apply(&mut s, 0.0).unwrap();
         let expected = if basis == 0b11 { -C64::ONE } else { C64::ONE };
-        assert!(s.amplitude(basis).approx_eq(expected, 1e-12), "basis {basis:02b}");
+        assert!(
+            s.amplitude(basis).approx_eq(expected, 1e-12),
+            "basis {basis:02b}"
+        );
     }
 }
 
@@ -111,10 +114,7 @@ fn global_phase_does_not_change_measurements() {
     c2.rz(1, Param::Fixed(-0.77)).unwrap();
     let after = c2.run(&[], &[], None).unwrap();
     for w in 0..2 {
-        assert!(
-            (before.expectation_z(w).unwrap() - after.expectation_z(w).unwrap()).abs()
-                < 1e-12
-        );
+        assert!((before.expectation_z(w).unwrap() - after.expectation_z(w).unwrap()).abs() < 1e-12);
     }
     for (a, b) in before.probabilities().iter().zip(after.probabilities()) {
         assert!((a - b).abs() < 1e-12);
@@ -166,8 +166,7 @@ fn controlled_rotations_gradcheck_via_paramshift() {
         c.push(gate).unwrap();
         let theta = [0.83];
         let upstream = [0.0, 1.0];
-        let adj =
-            adjoint::backward_expectations_z(&c, &theta, &[], None, &upstream).unwrap();
+        let adj = adjoint::backward_expectations_z(&c, &theta, &[], None, &upstream).unwrap();
         let ps = paramshift::vjp_expectations_z(&c, &theta, &[], None, &upstream).unwrap();
         assert!(
             (adj.params[0] - ps.params[0]).abs() < 1e-10,
@@ -175,7 +174,10 @@ fn controlled_rotations_gradcheck_via_paramshift() {
             adj.params[0],
             ps.params[0]
         );
-        assert!(adj.params[0].abs() > 1e-3, "{gate:?} gradient should be non-trivial");
+        assert!(
+            adj.params[0].abs() > 1e-3,
+            "{gate:?} gradient should be non-trivial"
+        );
     }
 }
 
@@ -189,7 +191,10 @@ fn shot_sampling_converges_to_probabilities() {
     let mut rng = StdRng::seed_from_u64(5);
     let est = state.estimate_expectation_z(0, 20_000, &mut rng).unwrap();
     let exact = state.expectation_z(0).unwrap();
-    assert!((est - exact).abs() < 0.02, "estimate {est} vs exact {exact}");
+    assert!(
+        (est - exact).abs() < 0.02,
+        "estimate {est} vs exact {exact}"
+    );
     // Outcome histogram matches probabilities.
     let outcomes = state.sample_measurements(20_000, &mut rng);
     let ones = outcomes.iter().filter(|&&o| o == 1).count() as f64 / 20_000.0;

@@ -139,7 +139,8 @@ fn entangling_template_gradients_cross_validate_with_embedding() {
     // entangling layers, gradients w.r.t. both inputs and parameters.
     let n = 4;
     let mut c = Circuit::new(n).unwrap();
-    c.extend(angle_embedding_gates(n, RotationAxis::Y, 0)).unwrap();
+    c.extend(angle_embedding_gates(n, RotationAxis::Y, 0))
+        .unwrap();
     c.extend(strongly_entangling_layers(n, 2, 0, EntangleRange::Ring).unwrap())
         .unwrap();
     let params: Vec<f64> = (0..c.n_params()).map(|i| (i as f64) * 0.1 - 1.0).collect();
@@ -155,5 +156,8 @@ fn entangling_template_gradients_cross_validate_with_embedding() {
     for (a, b) in adj.inputs.iter().zip(&ps.inputs) {
         assert!((a - b).abs() < 1e-9);
     }
-    assert!(adj.params.iter().any(|g| g.abs() > 1e-6), "gradients should be non-trivial");
+    assert!(
+        adj.params.iter().any(|g| g.abs() > 1e-6),
+        "gradients should be non-trivial"
+    );
 }

@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     let (train, test) = data.shuffle_split(0.85, 0);
 
-    println!("-- depth sweep (SQ-AE, p=8, LSD {}) --", patched_latent_dim(1024, 8));
+    println!(
+        "-- depth sweep (SQ-AE, p=8, LSD {}) --",
+        patched_latent_dim(1024, 8)
+    );
     for layers in [1usize, 3, 5, 7] {
         let mut rng = StdRng::seed_from_u64(21);
         let mut model = models::sq_ae(1024, 8, layers, &mut rng);

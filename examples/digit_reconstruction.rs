@@ -55,7 +55,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .train(&mut model, &train, None)?;
     println!(
         "train MSE: {:.6} → {:.6}",
-        history.records.first().map(|r| r.train_mse).unwrap_or(f64::NAN),
+        history
+            .records
+            .first()
+            .map(|r| r.train_mse)
+            .unwrap_or(f64::NAN),
         history.final_train_mse().unwrap_or(f64::NAN)
     );
 

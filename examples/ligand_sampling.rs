@@ -32,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let history = trainer.train(&mut model, &train, None)?;
     println!(
         "train MSE: {:.4} → {:.4}",
-        history.records.first().map(|r| r.train_mse).unwrap_or(f64::NAN),
+        history
+            .records
+            .first()
+            .map(|r| r.train_mse)
+            .unwrap_or(f64::NAN),
         history.final_train_mse().unwrap_or(f64::NAN)
     );
 

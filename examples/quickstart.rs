@@ -17,7 +17,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 7,
     });
     let (train, test) = data.shuffle_split(0.85, 0);
-    println!("dataset: {} train / {} test molecules", train.len(), test.len());
+    println!(
+        "dataset: {} train / {} test molecules",
+        train.len(),
+        test.len()
+    );
 
     // 2. The paper's hybrid baseline: 6-qubit encoder/decoder circuits with
     //    classical layers mapping measurements back to original scales.

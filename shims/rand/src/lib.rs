@@ -1,0 +1,292 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build container for this workspace has no network access, so the real
+//! `rand 0.8` cannot be fetched from a registry. This crate implements the
+//! exact API subset the workspace uses — [`rngs::StdRng`], [`SeedableRng`],
+//! the [`Rng`] extension trait (`gen_range`, `gen_bool`), and
+//! [`seq::SliceRandom`] (`shuffle`) — with the same signatures as rand 0.8,
+//! so swapping in the real crate later is a one-line manifest change.
+//!
+//! The generator behind [`rngs::StdRng`] is xoshiro256++ seeded via
+//! SplitMix64: deterministic for a given seed, which is all the workspace's
+//! seeded experiments and tests require. Streams are *not* bit-identical to
+//! upstream rand's `StdRng` (ChaCha12); nothing in the workspace depends on
+//! upstream's exact streams.
+
+#![warn(missing_docs)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// A random number generator: the single source of entropy bits.
+///
+/// Mirrors `rand::RngCore`, reduced to the `u64`/`u32` methods the
+/// workspace's samplers are built on.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (the high half of [`next_u64`]).
+    ///
+    /// [`next_u64`]: RngCore::next_u64
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a single `u64` seed, expanding it into the
+    /// full internal state via SplitMix64 (as recommended by the xoshiro
+    /// authors).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Extension methods for sampling from an [`RngCore`].
+///
+/// Blanket-implemented for every [`RngCore`], mirroring rand 0.8's
+/// `Rng: RngCore` relationship.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range` (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} outside [0, 1]");
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Uniformly distributed `f64` in `[0, 1)` using the top 53 bits.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A range that [`Rng::gen_range`] can sample a `T` from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! float_range_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = self.end - self.start;
+                let v = self.start + (unit_f64(rng) as $t) * span;
+                // Floating-point rounding can land exactly on `end`; fold it
+                // back to keep the half-open contract.
+                if v < self.end { v } else { self.start }
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let v = start + (unit_f64(rng) as $t) * (end - start);
+                if v > end { end } else { v }
+            }
+        }
+    )*};
+}
+
+float_range_impls!(f32, f64);
+
+macro_rules! int_range_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_impls!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// Seedable generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    ///
+    /// Stands in for `rand::rngs::StdRng`. Same seed ⇒ same stream, on every
+    /// platform.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion of the seed into 256 bits of state.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ step (Blackman & Vigna, public domain reference).
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related sampling helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Extension trait for slices, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should be essentially uncorrelated");
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen_range(-0.04..0.04);
+            assert!((-0.04..0.04).contains(&v));
+            let w: f64 = rng.gen_range(0.75..=1.0);
+            assert!((0.75..=1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn float_range_covers_span() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (mut lo, mut hi) = (false, false);
+        for _ in 0..1_000 {
+            let v: f64 = rng.gen_range(0.0..1.0);
+            lo |= v < 0.25;
+            hi |= v > 0.75;
+        }
+        assert!(lo && hi, "samples should cover the whole range");
+    }
+
+    #[test]
+    fn int_ranges_respect_bounds_and_cover() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 3];
+        for _ in 0..1_000 {
+            let v: i32 = rng.gen_range(-1..=1);
+            seen[(v + 1) as usize] = true;
+            let u: usize = rng.gen_range(0..3);
+            assert!(u < 3);
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "inclusive range must hit all values"
+        );
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "got {hits} hits for p=0.3");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..32).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "32 elements should not shuffle to identity");
+    }
+}

@@ -65,7 +65,9 @@ fn ligand_pipeline_sq_vae_trains_and_samples() {
     });
     let mut rng = StdRng::seed_from_u64(6);
     let mut model = models::sq_vae(1024, 8, 1, &mut rng);
-    let hist = Trainer::new(quick(3)).train(&mut model, &data, None).unwrap();
+    let hist = Trainer::new(quick(3))
+        .train(&mut model, &data, None)
+        .unwrap();
     assert!(hist.final_train_mse().unwrap() < hist.records[0].train_mse);
 
     let mut srng = StdRng::seed_from_u64(7);
@@ -102,7 +104,7 @@ fn hybrid_gradients_are_exact_end_to_end() {
 
     let eps = 1e-5;
     let n_check = analytic.len().min(6);
-    for k in 0..n_check {
+    for (k, &a) in analytic.iter().enumerate().take(n_check) {
         let mut rng = StdRng::seed_from_u64(8);
         let mut m2 = models::h_bq_ae(16, 1, &mut rng);
         {
@@ -123,9 +125,8 @@ fn hybrid_gradients_are_exact_end_to_end() {
         let (loss2, _) = sqvae::nn::loss::mse(&out2.reconstruction, &x).unwrap();
         let fd = (loss2 - base_loss) / eps;
         assert!(
-            (analytic[k] - fd).abs() < 1e-3,
-            "quantum param {k}: analytic {} vs fd {fd}",
-            analytic[k]
+            (a - fd).abs() < 1e-3,
+            "quantum param {k}: analytic {a} vs fd {fd}"
         );
     }
 }
@@ -153,7 +154,9 @@ fn whole_pipeline_is_deterministic() {
         });
         let mut rng = StdRng::seed_from_u64(12);
         let mut model = models::h_bq_vae(64, 1, &mut rng);
-        let hist = Trainer::new(quick(2)).train(&mut model, &data, None).unwrap();
+        let hist = Trainer::new(quick(2))
+            .train(&mut model, &data, None)
+            .unwrap();
         let mut srng = StdRng::seed_from_u64(13);
         let out = sampling::sample_molecules(&mut model, 5, 8, None, &mut srng).unwrap();
         (hist, out.molecules)

@@ -70,7 +70,9 @@ fn claim_fully_quantum_cannot_fit_original_scale() {
     };
     let mut rng = StdRng::seed_from_u64(5);
     let mut fbq = models::f_bq_ae(16, 1, &mut rng);
-    let f_hist = Trainer::new(config.clone()).train(&mut fbq, &data, None).unwrap();
+    let f_hist = Trainer::new(config.clone())
+        .train(&mut fbq, &data, None)
+        .unwrap();
     let f_drop = f_hist.records[0].train_mse - f_hist.final_train_mse().unwrap();
     let mut hbq = models::h_bq_ae(16, 1, &mut rng);
     let h_hist = Trainer::new(config).train(&mut hbq, &data, None).unwrap();

@@ -1,0 +1,66 @@
+//! Workspace-wiring smoke tests: every crate the `sqvae` facade re-exports
+//! is reachable under its advertised path, and the cross-crate pipeline runs
+//! deterministically under a fixed seed. These guard the Cargo manifests
+//! themselves — a broken re-export or dependency edge fails here first.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sqvae::core::{models, TrainConfig, Trainer};
+use sqvae::datasets::qm9::{generate, Qm9Config};
+
+#[test]
+fn every_reexported_crate_is_reachable() {
+    // sqvae::quantum
+    let circuit = sqvae::quantum::Circuit::new(2).expect("quantum crate reachable");
+    assert_eq!(circuit.n_qubits(), 2);
+
+    // sqvae::nn
+    let m = sqvae::nn::Matrix::filled(2, 2, 1.5);
+    assert_eq!(m.shape(), (2, 2));
+
+    // sqvae::chem
+    let mol = sqvae::chem::smiles::parse("CCO").expect("chem crate reachable");
+    assert_eq!(mol.n_atoms(), 3);
+
+    // sqvae::datasets
+    let data = generate(&Qm9Config {
+        n_samples: 4,
+        seed: 0,
+    });
+    assert_eq!(data.len(), 4);
+
+    // sqvae::core
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = models::classical_ae(64, 6, &mut rng);
+    assert!(!model.name.is_empty());
+}
+
+#[test]
+fn tiny_train_step_is_deterministic_under_fixed_seed() {
+    let run = || {
+        let data = generate(&Qm9Config {
+            n_samples: 16,
+            seed: 3,
+        });
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut model = models::h_bq_ae(64, 2, &mut rng);
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 1,
+            batch_size: 8,
+            ..TrainConfig::default()
+        });
+        let history = trainer
+            .train(&mut model, &data, None)
+            .expect("train step succeeds");
+        history.final_train_mse().expect("one epoch recorded")
+    };
+
+    let first = run();
+    let second = run();
+    assert!(first.is_finite());
+    assert_eq!(
+        first.to_bits(),
+        second.to_bits(),
+        "identical seeds must yield bit-identical training losses ({first} vs {second})"
+    );
+}
