@@ -1,8 +1,11 @@
 //! Adjoint vs parameter-shift gradient cost — the ablation justifying the
 //! adjoint engine as the training path (parameter-shift re-executes the
-//! circuit twice per parameter; adjoint is one backward sweep).
+//! circuit twice per parameter; adjoint is one backward sweep) — plus
+//! sequential vs row-sharded batched adjoint passes (the quantum layers'
+//! backward hot path after PR 2).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqvae_nn::parallel::{self, Threads};
 use sqvae_quantum::grad::{adjoint, paramshift};
 use sqvae_quantum::templates::{strongly_entangling_layers, EntangleRange};
 use sqvae_quantum::Circuit;
@@ -32,5 +35,23 @@ fn bench_adjoint_vs_paramshift(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_adjoint_vs_paramshift);
+/// A batch of 32 independent adjoint passes, sequential vs sharded across
+/// threads — the per-batch backward cost of a quantum layer.
+fn bench_batched_adjoint(c: &mut Criterion) {
+    let (circ, params, upstream) = circuit(6, 3);
+    let rows = 32usize;
+    let mut group = c.benchmark_group("batched_adjoint");
+    for (name, threads) in [("seq", Threads::Off), ("auto", Threads::Auto)] {
+        group.bench_function(format!("{name}_x{rows}"), |b| {
+            b.iter(|| {
+                parallel::map_rows(rows, threads, |_r| {
+                    adjoint::backward_expectations_z(&circ, &params, &[], None, &upstream).unwrap()
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adjoint_vs_paramshift, bench_batched_adjoint);
 criterion_main!(benches);

@@ -1,11 +1,13 @@
 //! Train-step throughput per model family (one forward+backward+step over a
 //! small batch) — the cost model behind the experiment harness's quick/full
-//! scales.
+//! scales — plus sequential-vs-parallel batching at batch size 32 (the
+//! PR 2 row-sharding path; `Threads::Auto` should win wall-clock on any
+//! multi-core runner while staying bit-identical).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sqvae_core::{models, Autoencoder, TrainConfig, Trainer};
+use sqvae_core::{models, Autoencoder, Threads, TrainConfig, Trainer};
 use sqvae_datasets::Dataset;
 
 fn toy_dataset(n: usize, width: usize) -> Dataset {
@@ -17,10 +19,11 @@ fn toy_dataset(n: usize, width: usize) -> Dataset {
     .expect("non-empty")
 }
 
-fn one_epoch(model: &mut Autoencoder, data: &Dataset) {
+fn one_epoch(model: &mut Autoencoder, data: &Dataset, batch_size: usize, threads: Threads) {
     let mut trainer = Trainer::new(TrainConfig {
         epochs: 1,
-        batch_size: 8,
+        batch_size,
+        threads,
         ..TrainConfig::default()
     });
     trainer.train(model, data, None).expect("training succeeds");
@@ -33,31 +36,53 @@ fn bench_training_steps(c: &mut Criterion) {
     c.bench_function("epoch_classical_ae_64d", |b| {
         let mut rng = StdRng::seed_from_u64(0);
         let mut model = models::classical_ae(64, 6, &mut rng);
-        b.iter(|| one_epoch(&mut model, &small))
+        b.iter(|| one_epoch(&mut model, &small, 8, Threads::Off))
     });
 
     c.bench_function("epoch_h_bq_ae_64d", |b| {
         let mut rng = StdRng::seed_from_u64(0);
         let mut model = models::h_bq_ae(64, 3, &mut rng);
-        b.iter(|| one_epoch(&mut model, &small))
+        b.iter(|| one_epoch(&mut model, &small, 8, Threads::Off))
     });
 
     c.bench_function("epoch_sq_ae_1024d_p8", |b| {
         let mut rng = StdRng::seed_from_u64(0);
         let mut model = models::sq_ae(1024, 8, 2, &mut rng);
-        b.iter(|| one_epoch(&mut model, &large))
+        b.iter(|| one_epoch(&mut model, &large, 8, Threads::Off))
     });
 
     c.bench_function("epoch_sq_vae_1024d_p16", |b| {
         let mut rng = StdRng::seed_from_u64(0);
         let mut model = models::sq_vae(1024, 16, 2, &mut rng);
-        b.iter(|| one_epoch(&mut model, &large))
+        b.iter(|| one_epoch(&mut model, &large, 8, Threads::Off))
     });
+}
+
+/// Sequential vs row-sharded epochs at batch size 32: the direct measurement
+/// behind the "parallel batching" ROADMAP item.
+fn bench_parallel_batching(c: &mut Criterion) {
+    let data32 = toy_dataset(32, 64);
+    let large32 = toy_dataset(32, 1024);
+    let mut group = c.benchmark_group("parallel_batching");
+
+    for (name, threads) in [("seq", Threads::Off), ("auto", Threads::Auto)] {
+        group.bench_function(format!("h_bq_ae_64d_b32_{name}"), |b| {
+            let mut rng = StdRng::seed_from_u64(0);
+            let mut model = models::h_bq_ae(64, 3, &mut rng);
+            b.iter(|| one_epoch(&mut model, &data32, 32, threads))
+        });
+        group.bench_function(format!("sq_ae_1024d_p8_b32_{name}"), |b| {
+            let mut rng = StdRng::seed_from_u64(0);
+            let mut model = models::sq_ae(1024, 8, 2, &mut rng);
+            b.iter(|| one_epoch(&mut model, &large32, 32, threads))
+        });
+    }
+    group.finish();
 }
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_training_steps
+    targets = bench_training_steps, bench_parallel_batching
 }
 criterion_main!(benches);

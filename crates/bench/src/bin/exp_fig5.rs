@@ -31,6 +31,7 @@ fn main() {
             quantum_lr: 0.01,
             classical_lr: 0.01,
             seed: args.seed,
+            threads: args.threads,
             ..TrainConfig::default()
         };
         let mut rng = StdRng::seed_from_u64(args.seed);
@@ -66,6 +67,7 @@ fn main() {
             let ae_hist = Trainer::new(TrainConfig {
                 epochs,
                 seed: args.seed,
+                threads: args.threads,
                 ..TrainConfig::default()
             })
             .train(&mut ae, &train, Some(&test))
@@ -74,6 +76,7 @@ fn main() {
             let vae_hist = Trainer::new(TrainConfig {
                 epochs,
                 seed: args.seed,
+                threads: args.threads,
                 ..TrainConfig::default()
             })
             .train(&mut vae, &train, Some(&test))

@@ -39,6 +39,7 @@ fn main() {
             quantum_lr: 0.001,
             classical_lr: 0.001,
             seed: args.seed,
+            threads: args.threads,
             ..TrainConfig::default()
         })
         .train(&mut model, &train, Some(&test))

@@ -45,6 +45,7 @@ fn main() {
                 quantum_lr: qlr,
                 classical_lr: clr,
                 seed: args.seed,
+                threads: args.threads,
                 ..TrainConfig::default()
             })
             .train(&mut model, &train, None)

@@ -35,6 +35,7 @@ fn main() {
                 Trainer::new(TrainConfig {
                     epochs,
                     seed: args.seed,
+                    threads: args.threads,
                     ..TrainConfig::default()
                 })
                 .train(&mut model, &train, None)
@@ -70,6 +71,7 @@ fn main() {
             Trainer::new(TrainConfig {
                 epochs,
                 seed: args.seed,
+                threads: args.threads,
                 ..TrainConfig::default()
             })
             .train(&mut model, &train_img, None)
@@ -96,6 +98,7 @@ fn main() {
             Trainer::new(TrainConfig {
                 epochs,
                 seed: args.seed,
+                threads: args.threads,
                 ..TrainConfig::default()
             })
             .train(model, &train_img, None)

@@ -41,6 +41,7 @@ fn main() {
         epochs,
         seed: args.seed,
         max_grad_norm: Some(5.0),
+        threads: args.threads,
         ..TrainConfig::default()
     })
     .train(&mut model, &data, None)
@@ -84,6 +85,7 @@ fn main() {
         quantum_lr: 0.01,
         classical_lr: 0.01,
         seed: args.seed,
+        threads: args.threads,
         ..TrainConfig::default()
     })
     .train(&mut fbq, &digits, None)

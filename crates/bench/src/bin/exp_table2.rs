@@ -47,6 +47,7 @@ fn main() {
         let mut vae = models::classical_vae(1024, lsd, &mut rng);
         let mut trainer = Trainer::new(TrainConfig {
             epochs,
+            threads: args.threads,
             ..TrainConfig::default()
         });
         trainer
@@ -61,6 +62,7 @@ fn main() {
         let mut sq = models::sq_vae(1024, p, args.pick(2, models::SCALABLE_LAYERS), &mut rng);
         let mut trainer = Trainer::new(TrainConfig {
             epochs,
+            threads: args.threads,
             ..TrainConfig::default()
         });
         trainer

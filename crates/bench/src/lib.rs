@@ -19,7 +19,7 @@
 //! runs. Results print as aligned text tables; EXPERIMENTS.md records the
 //! measured numbers next to the paper's.
 
-use sqvae_nn::Matrix;
+use sqvae_nn::{Matrix, Threads};
 
 /// Scale of an experiment run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +39,10 @@ pub struct ExpArgs {
     pub panel: Option<String>,
     /// Optional `--seed <n>` override.
     pub seed: u64,
+    /// Batch-row parallelism for quantum layers (`--threads auto|off|<n>`;
+    /// defaults to the `SQVAE_THREADS` environment variable). Results are
+    /// bit-identical for every setting — only wall-clock changes.
+    pub threads: Threads,
 }
 
 impl Default for ExpArgs {
@@ -47,6 +51,7 @@ impl Default for ExpArgs {
             scale: Scale::Quick,
             panel: None,
             seed: 42,
+            threads: Threads::from_env(),
         }
     }
 }
@@ -54,8 +59,9 @@ impl Default for ExpArgs {
 impl ExpArgs {
     /// Parses `std::env::args()`-style arguments (skipping the binary name).
     ///
-    /// Recognized: `--full`, `--quick`, `--panel <name>`, `--seed <n>`.
-    /// Unknown flags are ignored so wrappers can pass extras through.
+    /// Recognized: `--full`, `--quick`, `--panel <name>`, `--seed <n>`,
+    /// `--threads <auto|off|n>`. Unknown flags are ignored so wrappers can
+    /// pass extras through.
     pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
         let mut out = ExpArgs::default();
         let mut it = args.into_iter();
@@ -68,6 +74,13 @@ impl ExpArgs {
                     if let Some(s) = it.next() {
                         if let Ok(v) = s.parse() {
                             out.seed = v;
+                        }
+                    }
+                }
+                "--threads" => {
+                    if let Some(s) = it.next() {
+                        if let Ok(t) = s.parse() {
+                            out.threads = t;
                         }
                     }
                 }
@@ -238,6 +251,17 @@ mod tests {
     fn parse_ignores_unknown_and_bad_values() {
         let a = args(&["--wat", "--seed", "not-a-number"]);
         assert_eq!(a.seed, 42);
+    }
+
+    #[test]
+    fn parse_threads_flag() {
+        assert_eq!(args(&["--threads", "off"]).threads, Threads::Off);
+        assert_eq!(args(&["--threads", "0"]).threads, Threads::Off);
+        assert_eq!(args(&["--threads", "3"]).threads, Threads::Fixed(3));
+        assert_eq!(args(&["--threads", "auto"]).threads, Threads::Auto);
+        // Bad specs keep the default rather than aborting an experiment.
+        let default = ExpArgs::default().threads;
+        assert_eq!(args(&["--threads", "banana"]).threads, default);
     }
 
     #[test]

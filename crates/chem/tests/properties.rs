@@ -81,6 +81,31 @@ proptest! {
         prop_assert_eq!(deg_a, deg_b);
     }
 
+    /// SMILES parse→write→parse is *stable*: after one write→parse round
+    /// trip the representation reaches a fixed point — re-writing the parsed
+    /// molecule reproduces the same string, and re-parsing that string
+    /// preserves every graph invariant.
+    #[test]
+    fn smiles_parse_write_parse_is_stable(mol in arb_valid_molecule()) {
+        let s1 = smiles::write(&mol).unwrap();
+        let m1 = smiles::parse(&s1).unwrap();
+        let s2 = smiles::write(&m1).unwrap();
+        let m2 = smiles::parse(&s2).unwrap();
+        // The string representation is idempotent after one round trip…
+        prop_assert_eq!(&smiles::write(&m2).unwrap(), &s2, "from {}", s1);
+        // …and the graph invariants survive the second trip too.
+        prop_assert_eq!(m2.formula(), m1.formula());
+        prop_assert_eq!(m2.n_atoms(), m1.n_atoms());
+        prop_assert_eq!(m2.n_bonds(), m1.n_bonds());
+        let orders = |m: &Molecule| {
+            let mut o: Vec<char> =
+                m.bonds().iter().map(|b| b.order.smiles_symbol()).collect();
+            o.sort_unstable();
+            o
+        };
+        prop_assert_eq!(orders(&m2), orders(&m1));
+    }
+
     /// Property metrics stay in their documented ranges.
     #[test]
     fn metric_ranges(mol in arb_valid_molecule()) {

@@ -200,6 +200,14 @@ impl Autoencoder {
         v
     }
 
+    /// Sets the batch-row parallelism policy on every quantum stage
+    /// (classical stages and latent heads ignore it). The trainer calls this
+    /// with its configured [`sqvae_nn::Threads`] before each run.
+    pub fn set_threads(&mut self, threads: sqvae_nn::Threads) {
+        self.encoder.set_threads(threads);
+        self.decoder.set_threads(threads);
+    }
+
     /// Zeroes every gradient.
     pub fn zero_grad(&mut self) {
         for p in self.parameters_of(ParamGroup::Quantum) {

@@ -102,6 +102,12 @@ impl Module for HybridStack {
             .flat_map(|(_, m)| m.parameters())
             .collect()
     }
+
+    fn set_threads(&mut self, threads: sqvae_nn::Threads) {
+        for (_, stage) in &mut self.stages {
+            stage.set_threads(threads);
+        }
+    }
 }
 
 #[cfg(test)]

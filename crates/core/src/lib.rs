@@ -57,3 +57,7 @@ pub use latent::{GaussianLatent, Latent};
 pub use patched::{patched_latent_dim, PatchedQuantumLayer};
 pub use quantum_layer::{QuantumInput, QuantumLayer, QuantumOutput};
 pub use trainer::{EpochRecord, History, TrainConfig, Trainer};
+
+// Re-exported so downstream users can set `TrainConfig::threads` without
+// depending on `sqvae-nn` directly.
+pub use sqvae_nn::Threads;

@@ -10,7 +10,7 @@
 
 use crate::quantum_layer::{QuantumInput, QuantumLayer, QuantumOutput};
 use rand::Rng;
-use sqvae_nn::{Matrix, Module, NnError, ParamTensor};
+use sqvae_nn::{Matrix, Module, NnError, ParamTensor, Threads};
 
 /// Latent space dimension of a patched encoder over `input_dim` features
 /// with `p` patches: `p · log2(input_dim / p)`.
@@ -142,6 +142,12 @@ impl PatchedQuantumLayer {
     pub fn out_features(&self) -> usize {
         self.out_per_patch * self.patches.len()
     }
+
+    /// Builder-style variant of [`Module::set_threads`].
+    pub fn with_threads(mut self, threads: Threads) -> Self {
+        self.set_threads(threads);
+        self
+    }
 }
 
 impl Module for PatchedQuantumLayer {
@@ -181,6 +187,14 @@ impl Module for PatchedQuantumLayer {
             .iter_mut()
             .flat_map(|p| p.parameters())
             .collect()
+    }
+
+    fn set_threads(&mut self, threads: Threads) {
+        // Each patch shards its own row loop; patches themselves stay
+        // sequential to avoid nested thread pools.
+        for patch in &mut self.patches {
+            patch.set_threads(threads);
+        }
     }
 }
 
@@ -270,6 +284,27 @@ mod tests {
         assert_eq!(gin.get(0, 2), 0.0);
         assert_eq!(gin.get(0, 3), 0.0);
         assert!(gin.get(0, 0).abs() + gin.get(0, 1).abs() > 1e-9);
+    }
+
+    #[test]
+    fn threaded_patch_bank_matches_sequential_bitwise() {
+        let bank_with = |threads: Threads| {
+            let mut rng = StdRng::seed_from_u64(9);
+            PatchedQuantumLayer::amplitude_encoder(16, 2, 2, &mut rng).with_threads(threads)
+        };
+        let x = Matrix::from_fn(5, 16, |i, j| 0.05 * (i * 16 + j) as f64 + 0.1);
+        let g = Matrix::from_fn(5, 6, |i, j| 0.2 * (i as f64) - 0.1 * (j as f64));
+
+        let mut seq = bank_with(Threads::Off);
+        let y_seq = seq.forward(&x).unwrap();
+        seq.backward(&g).unwrap();
+        let seq_grads: Vec<Matrix> = seq.parameters().iter().map(|p| p.grad.clone()).collect();
+
+        let mut par = bank_with(Threads::Fixed(4));
+        assert_eq!(par.forward(&x).unwrap(), y_seq);
+        par.backward(&g).unwrap();
+        let par_grads: Vec<Matrix> = par.parameters().iter().map(|p| p.grad.clone()).collect();
+        assert_eq!(par_grads, seq_grads);
     }
 
     #[test]

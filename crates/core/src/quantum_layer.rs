@@ -5,13 +5,21 @@
 //! architecture requires. Forward runs the statevector simulator per batch
 //! row; backward runs one adjoint pass per row against the upstream-weighted
 //! diagonal observable.
+//!
+//! Batch rows are independent simulations, so both passes shard rows across
+//! OS threads according to the layer's [`Threads`] policy (default
+//! [`Threads::Off`]; the trainer propagates its configured policy). Per-row
+//! results land in preallocated row slots and gradients accumulate in fixed
+//! row order, so the parallel path is bit-identical to the sequential one.
 
 use rand::Rng;
+use sqvae_nn::parallel::{self, Threads};
 use sqvae_nn::{init, Matrix, Module, NnError, ParamTensor};
 use sqvae_quantum::embed::{
     amplitude_embedding, angle_embedding_gates, qubits_for_features, RotationAxis,
 };
 use sqvae_quantum::grad::adjoint;
+use sqvae_quantum::grad::CircuitGradients;
 use sqvae_quantum::templates::{strongly_entangling_layers, EntangleRange};
 use sqvae_quantum::Circuit;
 
@@ -66,6 +74,7 @@ pub struct QuantumLayer {
     output_mode: QuantumOutput,
     params: ParamTensor,
     cached_input: Option<Matrix>,
+    threads: Threads,
 }
 
 impl QuantumLayer {
@@ -111,7 +120,19 @@ impl QuantumLayer {
             output_mode,
             params,
             cached_input: None,
+            threads: Threads::Off,
         }
+    }
+
+    /// Builder-style variant of [`Module::set_threads`].
+    pub fn with_threads(mut self, threads: Threads) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The current batch-row parallelism policy.
+    pub fn threads(&self) -> Threads {
+        self.threads
     }
 
     /// Number of wires.
@@ -183,14 +204,54 @@ impl QuantumLayer {
             QuantumOutput::Probabilities => state.probabilities(),
         }
     }
+
+    fn backward_row(&self, row: &[f64], upstream: &[f64]) -> CircuitGradients {
+        let theta = self.params.value.as_slice();
+        match self.input_mode {
+            QuantumInput::Amplitude { .. } => {
+                let init = match amplitude_embedding(row, self.circuit.n_qubits()) {
+                    Ok(s) => s,
+                    Err(_) => sqvae_quantum::StateVector::zero_state(self.circuit.n_qubits())
+                        .expect("valid register"),
+                };
+                match self.output_mode {
+                    QuantumOutput::ExpectationZ => adjoint::backward_expectations_z(
+                        &self.circuit,
+                        theta,
+                        &[],
+                        Some(&init),
+                        upstream,
+                    ),
+                    QuantumOutput::Probabilities => adjoint::backward_probabilities(
+                        &self.circuit,
+                        theta,
+                        &[],
+                        Some(&init),
+                        upstream,
+                    ),
+                }
+            }
+            QuantumInput::Angle => match self.output_mode {
+                QuantumOutput::ExpectationZ => {
+                    adjoint::backward_expectations_z(&self.circuit, theta, row, None, upstream)
+                }
+                QuantumOutput::Probabilities => {
+                    adjoint::backward_probabilities(&self.circuit, theta, row, None, upstream)
+                }
+            },
+        }
+        .expect("validated circuit")
+    }
 }
 
 impl Module for QuantumLayer {
     fn forward(&mut self, input: &Matrix) -> Result<Matrix, NnError> {
         self.check_width(input)?;
+        let rows = parallel::map_rows(input.rows(), self.threads, |r| {
+            self.forward_row(input.row(r))
+        });
         let mut out = Matrix::zeros(input.rows(), self.out_features());
-        for r in 0..input.rows() {
-            let y = self.forward_row(input.row(r));
+        for (r, y) in rows.into_iter().enumerate() {
             out.row_mut(r).copy_from_slice(&y);
         }
         self.cached_input = Some(input.clone());
@@ -208,45 +269,13 @@ impl Module for QuantumLayer {
                 actual: grad_output.shape(),
             });
         }
-        let theta = self.params.value.as_slice().to_vec();
-        let mut grad_input = Matrix::zeros(input.rows(), self.in_features());
-        for r in 0..input.rows() {
-            let row = input.row(r);
-            let upstream = grad_output.row(r);
-            let grads = match self.input_mode {
-                QuantumInput::Amplitude { .. } => {
-                    let init = match amplitude_embedding(row, self.circuit.n_qubits()) {
-                        Ok(s) => s,
-                        Err(_) => sqvae_quantum::StateVector::zero_state(self.circuit.n_qubits())
-                            .expect("valid register"),
-                    };
-                    match self.output_mode {
-                        QuantumOutput::ExpectationZ => adjoint::backward_expectations_z(
-                            &self.circuit,
-                            &theta,
-                            &[],
-                            Some(&init),
-                            upstream,
-                        ),
-                        QuantumOutput::Probabilities => adjoint::backward_probabilities(
-                            &self.circuit,
-                            &theta,
-                            &[],
-                            Some(&init),
-                            upstream,
-                        ),
-                    }
-                }
-                QuantumInput::Angle => match self.output_mode {
-                    QuantumOutput::ExpectationZ => {
-                        adjoint::backward_expectations_z(&self.circuit, &theta, row, None, upstream)
-                    }
-                    QuantumOutput::Probabilities => {
-                        adjoint::backward_probabilities(&self.circuit, &theta, row, None, upstream)
-                    }
-                },
-            }
-            .expect("validated circuit");
+        let per_row = parallel::map_rows(input.rows(), self.threads, |r| {
+            self.backward_row(input.row(r), grad_output.row(r))
+        });
+        // Accumulate in fixed row order so parallel runs reproduce the
+        // sequential floating-point sums bit for bit.
+        let mut grad_input = Matrix::zeros(per_row.len(), self.in_features());
+        for (r, grads) in per_row.iter().enumerate() {
             for (i, g) in grads.params.iter().enumerate() {
                 let cur = self.params.grad.get(0, i);
                 self.params.grad.set(0, i, cur + g);
@@ -262,6 +291,10 @@ impl Module for QuantumLayer {
 
     fn parameters(&mut self) -> Vec<&mut ParamTensor> {
         vec![&mut self.params]
+    }
+
+    fn set_threads(&mut self, threads: Threads) {
+        self.threads = threads;
     }
 }
 
@@ -431,6 +464,34 @@ mod tests {
         layer.forward(&Matrix::filled(1, 4, 0.5)).unwrap();
         let g = layer.backward(&Matrix::filled(1, 2, 1.0)).unwrap();
         assert_eq!(g.frobenius_norm(), 0.0);
+    }
+
+    #[test]
+    fn threaded_passes_are_bit_identical_to_sequential() {
+        let layer_with = |threads: Threads| {
+            let mut r = rng();
+            QuantumLayer::new(
+                3,
+                2,
+                QuantumInput::Angle,
+                QuantumOutput::ExpectationZ,
+                &mut r,
+            )
+            .with_threads(threads)
+        };
+        let x = Matrix::from_fn(7, 3, |i, j| 0.3 * (i as f64) - 0.2 * (j as f64));
+        let g = Matrix::from_fn(7, 3, |i, j| 0.1 * (i + j) as f64 - 0.4);
+
+        let mut seq = layer_with(Threads::Off);
+        let y_seq = seq.forward(&x).unwrap();
+        let gi_seq = seq.backward(&g).unwrap();
+
+        for threads in [Threads::Fixed(1), Threads::Fixed(3), Threads::Fixed(16)] {
+            let mut par = layer_with(threads);
+            assert_eq!(par.forward(&x).unwrap(), y_seq, "{threads:?}");
+            assert_eq!(par.backward(&g).unwrap(), gi_seq, "{threads:?}");
+            assert_eq!(par.params.grad, seq.params.grad, "{threads:?}");
+        }
     }
 
     #[test]

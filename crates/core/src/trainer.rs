@@ -10,7 +10,7 @@ use crate::hybrid::ParamGroup;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sqvae_datasets::Dataset;
-use sqvae_nn::{loss, Adam, Matrix, NnError, Optimizer};
+use sqvae_nn::{loss, Adam, Matrix, NnError, Optimizer, Threads};
 
 /// Training hyper-parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +38,12 @@ pub struct TrainConfig {
     /// Early stopping: end training when the test MSE has not improved for
     /// this many consecutive epochs (requires a test set; `None` disables).
     pub early_stop_patience: Option<usize>,
+    /// Batch-row parallelism for the quantum layers: rows of each mini-batch
+    /// are sharded across OS threads during the statevector forward runs and
+    /// adjoint backward passes. Results are bit-identical to sequential
+    /// execution for any setting. Defaults to [`Threads::from_env`]
+    /// (`SQVAE_THREADS`: `auto`, `off`/`0`, or a thread count).
+    pub threads: Threads,
 }
 
 impl Default for TrainConfig {
@@ -52,6 +58,7 @@ impl Default for TrainConfig {
             max_grad_norm: None,
             kl_warmup_epochs: 0,
             early_stop_patience: None,
+            threads: Threads::from_env(),
         }
     }
 }
@@ -157,16 +164,42 @@ impl Trainer {
         Matrix::from_rows(rows)
     }
 
+    /// Default evaluation batch size used by [`Trainer::evaluate`].
+    pub const DEFAULT_EVAL_BATCH: usize = 64;
+
     /// Mean reconstruction MSE of `model` over `data` (evaluation mode: VAEs
-    /// reconstruct through the posterior mean).
+    /// reconstruct through the posterior mean), in batches of
+    /// [`Self::DEFAULT_EVAL_BATCH`].
     ///
     /// # Errors
     ///
     /// Returns shape errors from the model.
     pub fn evaluate(model: &mut Autoencoder, data: &Dataset) -> Result<f64, NnError> {
+        Self::evaluate_batched(model, data, Self::DEFAULT_EVAL_BATCH)
+    }
+
+    /// [`Trainer::evaluate`] with an explicit batch size, bounding peak
+    /// evaluation memory. An empty dataset evaluates to 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors from the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch_size == 0`.
+    pub fn evaluate_batched(
+        model: &mut Autoencoder,
+        data: &Dataset,
+        batch_size: usize,
+    ) -> Result<f64, NnError> {
+        assert!(batch_size > 0, "evaluation batch size must be positive");
+        if data.is_empty() {
+            return Ok(0.0);
+        }
         let mut total = 0.0;
         let mut count = 0usize;
-        for batch in data.batches(64) {
+        for batch in data.batches(batch_size) {
             let x = Self::batch_matrix(&batch)?;
             let recon = model.reconstruct(&x)?;
             let (mse, _) = loss::mse(&recon, &x)?;
@@ -191,6 +224,7 @@ impl Trainer {
             model: model.name.clone(),
             records: Vec::with_capacity(self.config.epochs),
         };
+        model.set_threads(self.config.threads);
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut best_test = f64::INFINITY;
         let mut stale_epochs = 0usize;
@@ -230,7 +264,7 @@ impl Trainer {
             }
             let denom = seen.max(1) as f64;
             let test_mse = match test {
-                Some(t) => Some(Self::evaluate(model, t)?),
+                Some(t) => Some(Self::evaluate_batched(model, t, self.config.batch_size)?),
                 None => None,
             };
             history.records.push(EpochRecord {
@@ -451,6 +485,69 @@ mod tests {
         });
         let hist = trainer.train(&mut model, &train, None).unwrap();
         assert_eq!(hist.records.len(), 3);
+    }
+
+    #[test]
+    fn evaluate_empty_dataset_is_zero() {
+        // shuffle_split(1.0) is the only route to an empty dataset: the
+        // train side takes every sample.
+        let (train, test) = toy_dataset(6, 4, 50).shuffle_split(1.0, 0);
+        assert_eq!(train.len(), 6);
+        assert!(test.is_empty());
+        let mut rng = StdRng::seed_from_u64(51);
+        let mut model = models::classical_ae(4, 2, &mut rng);
+        assert_eq!(Trainer::evaluate(&mut model, &test).unwrap(), 0.0);
+        assert_eq!(
+            Trainer::evaluate_batched(&mut model, &test, 1).unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn evaluate_batch_larger_than_dataset() {
+        let data = toy_dataset(3, 4, 52);
+        let mut rng = StdRng::seed_from_u64(53);
+        let mut model = models::classical_ae(4, 2, &mut rng);
+        // One oversized batch degenerates to a single full-dataset batch.
+        let oversized = Trainer::evaluate_batched(&mut model, &data, 64).unwrap();
+        let exact = Trainer::evaluate_batched(&mut model, &data, 3).unwrap();
+        assert!(oversized.is_finite());
+        assert_eq!(oversized, exact);
+        // The default entry point also uses one batch here.
+        assert_eq!(Trainer::evaluate(&mut model, &data).unwrap(), oversized);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn evaluate_rejects_zero_batch() {
+        let data = toy_dataset(2, 4, 54);
+        let mut rng = StdRng::seed_from_u64(55);
+        let mut model = models::classical_ae(4, 2, &mut rng);
+        let _ = Trainer::evaluate_batched(&mut model, &data, 0);
+    }
+
+    #[test]
+    fn early_stop_fires_exactly_when_stale_epochs_reach_patience() {
+        // Zero learning rates freeze the model, so every epoch after the
+        // first is stale: the run must stop after exactly patience + 1
+        // epochs — a regression pin on the `stale_epochs == patience`
+        // boundary (neither one epoch early nor one late).
+        let data = toy_dataset(8, 4, 42);
+        let (train, test) = data.shuffle_split(0.5, 0);
+        for patience in 1..=3 {
+            let mut rng = StdRng::seed_from_u64(43);
+            let mut model = models::classical_ae(4, 2, &mut rng);
+            let mut trainer = Trainer::new(TrainConfig {
+                epochs: 40,
+                batch_size: 4,
+                quantum_lr: 0.0,
+                classical_lr: 0.0,
+                early_stop_patience: Some(patience),
+                ..TrainConfig::default()
+            });
+            let hist = trainer.train(&mut model, &train, Some(&test)).unwrap();
+            assert_eq!(hist.records.len(), patience + 1, "patience {patience}");
+        }
     }
 
     #[test]

@@ -48,6 +48,7 @@ mod sequential;
 
 pub mod init;
 pub mod loss;
+pub mod parallel;
 
 pub use activation::{Activation, ActivationKind};
 pub use error::{NnError, Result};
@@ -55,4 +56,5 @@ pub use linear::Linear;
 pub use matrix::Matrix;
 pub use module::{Module, ParamTensor};
 pub use optim::{Adam, Optimizer, Sgd};
+pub use parallel::Threads;
 pub use sequential::Sequential;

@@ -8,6 +8,7 @@
 
 use crate::error::Result;
 use crate::matrix::Matrix;
+use crate::parallel::Threads;
 
 /// A trainable tensor: value and accumulated gradient of identical shape.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,6 +79,11 @@ pub trait Module {
             p.zero_grad();
         }
     }
+
+    /// Sets the batch-row parallelism policy. Layers that simulate rows
+    /// independently (the quantum stages) shard work accordingly; purely
+    /// classical layers ignore it, and containers forward it to children.
+    fn set_threads(&mut self, _threads: Threads) {}
 }
 
 #[cfg(test)]

@@ -1,0 +1,158 @@
+//! Row-sharded parallel execution across OS threads.
+//!
+//! Every quantum layer simulates batch rows independently, so the batch
+//! dimension is an embarrassingly parallel axis. [`map_rows`] shards a row
+//! range across scoped OS threads (`std::thread::scope`; no external
+//! dependencies, matching the offline build environment) and writes each
+//! row's result into its own preallocated slot. Because results land in row
+//! order — never in thread-arrival order — and callers accumulate any
+//! reductions over the returned `Vec` in fixed row order, the parallel path
+//! is **bit-identical** to the sequential one.
+
+use std::str::FromStr;
+
+/// Name of the environment variable read by [`Threads::from_env`].
+pub const THREADS_ENV_VAR: &str = "SQVAE_THREADS";
+
+/// Row-parallelism policy for layers that shard batch rows across threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Threads {
+    /// One worker per available CPU (capped by the number of rows).
+    Auto,
+    /// Exactly `n` workers (capped by the number of rows); `Fixed(0)` and
+    /// `Fixed(1)` run sequentially.
+    Fixed(usize),
+    /// Sequential execution on the calling thread.
+    Off,
+}
+
+impl Threads {
+    /// Reads the policy from the `SQVAE_THREADS` environment variable:
+    /// unset, empty, or `auto` → [`Threads::Auto`]; `0` or `off` →
+    /// [`Threads::Off`]; a positive integer `n` → [`Threads::Fixed`]`(n)`.
+    /// Unparseable values fall back to [`Threads::Auto`].
+    pub fn from_env() -> Self {
+        match std::env::var(THREADS_ENV_VAR) {
+            Ok(v) => v.parse().unwrap_or(Threads::Auto),
+            Err(_) => Threads::Auto,
+        }
+    }
+
+    /// Number of worker threads to use for `n_rows` independent rows.
+    pub fn resolve(self, n_rows: usize) -> usize {
+        let cap = match self {
+            Threads::Off => 1,
+            Threads::Fixed(n) => n.max(1),
+            Threads::Auto => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        };
+        cap.min(n_rows.max(1))
+    }
+}
+
+impl FromStr for Threads {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim() {
+            "" | "auto" => Ok(Threads::Auto),
+            "0" | "off" => Ok(Threads::Off),
+            other => other
+                .parse::<usize>()
+                .map(Threads::Fixed)
+                .map_err(|_| format!("invalid thread spec '{other}' (want auto, off, or a count)")),
+        }
+    }
+}
+
+/// Computes `f(0), …, f(n_rows - 1)` with rows sharded across scoped OS
+/// threads, returning the results **in row order**.
+///
+/// Each worker owns a contiguous chunk of preallocated output slots, so no
+/// result is ever placed by arrival order and the output is bit-identical to
+/// the sequential `(0..n_rows).map(f)`. With one resolved worker (or fewer
+/// than two rows) no thread is spawned at all.
+///
+/// # Panics
+///
+/// Propagates any panic raised by `f` on a worker thread.
+pub fn map_rows<R, F>(n_rows: usize, threads: Threads, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = threads.resolve(n_rows);
+    if workers <= 1 || n_rows <= 1 {
+        return (0..n_rows).map(f).collect();
+    }
+    let mut slots: Vec<Option<R>> = (0..n_rows).map(|_| None).collect();
+    let chunk = n_rows.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (w, block) in slots.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (i, slot) in block.iter_mut().enumerate() {
+                    *slot = Some(f(w * chunk + i));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every row slot is filled by its worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_for_every_policy() {
+        let expected: Vec<usize> = (0..37).map(|r| r * r).collect();
+        for threads in [
+            Threads::Off,
+            Threads::Auto,
+            Threads::Fixed(1),
+            Threads::Fixed(3),
+            Threads::Fixed(64),
+        ] {
+            assert_eq!(map_rows(37, threads, |r| r * r), expected, "{threads:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_row() {
+        assert_eq!(map_rows(0, Threads::Fixed(4), |r| r), Vec::<usize>::new());
+        assert_eq!(map_rows(1, Threads::Fixed(4), |r| r + 10), vec![10]);
+    }
+
+    #[test]
+    fn resolve_caps_by_rows_and_floor_is_one() {
+        assert_eq!(Threads::Off.resolve(100), 1);
+        assert_eq!(Threads::Fixed(0).resolve(100), 1);
+        assert_eq!(Threads::Fixed(4).resolve(2), 2);
+        assert_eq!(Threads::Fixed(4).resolve(100), 4);
+        assert!(Threads::Auto.resolve(100) >= 1);
+        assert_eq!(Threads::Auto.resolve(0), 1);
+    }
+
+    #[test]
+    fn parses_thread_specs() {
+        assert_eq!("auto".parse::<Threads>(), Ok(Threads::Auto));
+        assert_eq!("".parse::<Threads>(), Ok(Threads::Auto));
+        assert_eq!("off".parse::<Threads>(), Ok(Threads::Off));
+        assert_eq!("0".parse::<Threads>(), Ok(Threads::Off));
+        assert_eq!("6".parse::<Threads>(), Ok(Threads::Fixed(6)));
+        assert!("six".parse::<Threads>().is_err());
+    }
+
+    #[test]
+    fn rows_collect_in_order_not_arrival_order() {
+        // Later rows finish first (they sleep less), yet results stay ordered.
+        let out = map_rows(8, Threads::Fixed(4), |r| {
+            std::thread::sleep(std::time::Duration::from_millis(8 - r as u64));
+            r
+        });
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+    }
+}

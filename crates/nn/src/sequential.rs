@@ -88,6 +88,12 @@ impl Module for Sequential {
             .flat_map(|l| l.parameters())
             .collect()
     }
+
+    fn set_threads(&mut self, threads: crate::parallel::Threads) {
+        for layer in &mut self.layers {
+            layer.set_threads(threads);
+        }
+    }
 }
 
 #[cfg(test)]

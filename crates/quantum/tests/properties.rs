@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use sqvae_quantum::embed::{amplitude_embedding, angle_embedding_gates, RotationAxis};
-use sqvae_quantum::grad::{adjoint, paramshift};
+use sqvae_quantum::grad::{adjoint, finite_diff, paramshift};
 use sqvae_quantum::templates::{strongly_entangling_layers, EntangleRange};
 use sqvae_quantum::{Circuit, Gate, Param, StateVector};
 
@@ -87,6 +87,72 @@ proptest! {
         let ps = paramshift::vjp_expectations_z(&c, &params, &[], None, &upstream).unwrap();
         for (a, b) in adj.params.iter().zip(&ps.params) {
             prop_assert!((a - b).abs() < 1e-8, "adjoint {} vs paramshift {}", a, b);
+        }
+    }
+
+    /// Adjoint gradients agree with the central finite-difference oracle on
+    /// random circuits and angles (the adjoint engine is the training path;
+    /// finite differences are the model-free ground truth).
+    #[test]
+    fn adjoint_matches_finite_difference(
+        gates in proptest::collection::vec(arb_gate(2, 3), 1..10),
+        params in proptest::collection::vec(-2.0..2.0f64, 3),
+        upstream in proptest::collection::vec(-1.0..1.0f64, 2),
+    ) {
+        let c = build_circuit(2, gates);
+        let adj = adjoint::backward_expectations_z(&c, &params, &[], None, &upstream).unwrap();
+        let measure = |s: &StateVector| {
+            vec![s.expectation_z(0).unwrap(), s.expectation_z(1).unwrap()]
+        };
+        let jac = finite_diff::jacobian_params(
+            &c, &params, &[], None, finite_diff::DEFAULT_EPS, measure,
+        )
+        .unwrap();
+        for (k, row) in jac.iter().enumerate() {
+            let fd: f64 = row.iter().zip(&upstream).map(|(j, u)| j * u).sum();
+            prop_assert!(
+                (adj.params[k] - fd).abs() < 1e-4,
+                "param {}: adjoint {} vs finite diff {}",
+                k, adj.params[k], fd
+            );
+        }
+    }
+
+    /// Adjoint *input* gradients (angle embeddings) also agree with the
+    /// finite-difference oracle.
+    #[test]
+    fn adjoint_input_gradients_match_finite_difference(
+        inputs in proptest::collection::vec(-1.5..1.5f64, 3),
+        params in proptest::collection::vec(-2.0..2.0f64, 4),
+        upstream in proptest::collection::vec(-1.0..1.0f64, 3),
+    ) {
+        let n = 3;
+        let mut c = Circuit::new(n).unwrap();
+        c.extend(angle_embedding_gates(n, RotationAxis::Y, 0)).unwrap();
+        c.extend(strongly_entangling_layers(n, 1, 0, EntangleRange::Ring).unwrap())
+            .unwrap();
+        let params = &params[..c.n_params().min(params.len())];
+        let params: Vec<f64> = params
+            .iter()
+            .copied()
+            .chain(std::iter::repeat(0.5))
+            .take(c.n_params())
+            .collect();
+        let adj = adjoint::backward_expectations_z(&c, &params, &inputs, None, &upstream).unwrap();
+        let measure = |s: &StateVector| {
+            (0..n).map(|w| s.expectation_z(w).unwrap()).collect::<Vec<_>>()
+        };
+        let jac = finite_diff::jacobian_inputs(
+            &c, &params, &inputs, None, finite_diff::DEFAULT_EPS, measure,
+        )
+        .unwrap();
+        for (k, row) in jac.iter().enumerate() {
+            let fd: f64 = row.iter().zip(&upstream).map(|(j, u)| j * u).sum();
+            prop_assert!(
+                (adj.inputs[k] - fd).abs() < 1e-4,
+                "input {}: adjoint {} vs finite diff {}",
+                k, adj.inputs[k], fd
+            );
         }
     }
 
