@@ -46,6 +46,7 @@ fn main() {
                 classical_lr: clr,
                 seed: args.seed,
                 threads: args.threads,
+                backend: args.backend,
                 ..TrainConfig::default()
             })
             .train(&mut model, &train, None)
@@ -75,6 +76,7 @@ fn main() {
                 epochs,
                 seed: args.seed,
                 threads: args.threads,
+                backend: args.backend,
                 ..TrainConfig::default()
             })
             .train(&mut model, &train, None)

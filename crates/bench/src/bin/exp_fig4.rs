@@ -13,26 +13,21 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sqvae_bench::{ascii_image, ascii_side_by_side, batch_matrix, print_series, section, ExpArgs};
 use sqvae_chem::{smiles, MoleculeMatrix};
-use sqvae_core::{models, Autoencoder, Threads, TrainConfig, Trainer};
+use sqvae_core::{models, Autoencoder, TrainConfig, Trainer};
 use sqvae_datasets::digits::{generate as gen_digits, DigitsConfig};
 use sqvae_datasets::qm9::{generate as gen_qm9, Qm9Config};
 use sqvae_datasets::Dataset;
 
-fn train_curve(
-    model: &mut Autoencoder,
-    data: &Dataset,
-    epochs: usize,
-    seed: u64,
-    threads: Threads,
-) -> Vec<f64> {
+fn train_curve(model: &mut Autoencoder, data: &Dataset, epochs: usize, args: &ExpArgs) -> Vec<f64> {
     let mut trainer = Trainer::new(TrainConfig {
         epochs,
         // The paper's Fig. 4 training uses a single LR of 0.01 for curve
         // comparison; heterogeneous rates are introduced later (Fig. 7).
         quantum_lr: 0.01,
         classical_lr: 0.01,
-        seed,
-        threads,
+        seed: args.seed,
+        threads: args.threads,
+        backend: args.backend,
         ..TrainConfig::default()
     });
     trainer
@@ -59,24 +54,18 @@ fn main() {
         section("Fig. 4(a): train MSE on ORIGINAL-scale Digits & QM9 (per epoch)");
         let mut rng = StdRng::seed_from_u64(args.seed);
         let mut bq_qm9 = models::h_bq_vae(64, models::BASELINE_LAYERS, &mut rng);
-        print_series(
-            "BQ-VAE-QM9",
-            &train_curve(&mut bq_qm9, &qm9, epochs, args.seed, args.threads),
-        );
+        print_series("BQ-VAE-QM9", &train_curve(&mut bq_qm9, &qm9, epochs, &args));
         let mut cvae_qm9 = models::classical_vae(64, 6, &mut rng);
-        print_series(
-            "CVAE-QM9",
-            &train_curve(&mut cvae_qm9, &qm9, epochs, args.seed, args.threads),
-        );
+        print_series("CVAE-QM9", &train_curve(&mut cvae_qm9, &qm9, epochs, &args));
         let mut bq_dig = models::h_bq_vae(64, models::BASELINE_LAYERS, &mut rng);
         print_series(
             "BQ-VAE-Digits",
-            &train_curve(&mut bq_dig, &digits, epochs, args.seed, args.threads),
+            &train_curve(&mut bq_dig, &digits, epochs, &args),
         );
         let mut cvae_dig = models::classical_vae(64, 6, &mut rng);
         print_series(
             "CVAE-Digits",
-            &train_curve(&mut cvae_dig, &digits, epochs, args.seed, args.threads),
+            &train_curve(&mut cvae_dig, &digits, epochs, &args),
         );
         println!("  expected shape: classical VAE reaches lower loss at original scale");
     }
@@ -89,22 +78,22 @@ fn main() {
         let mut bq_qm9 = models::f_bq_vae(64, models::BASELINE_LAYERS, &mut rng);
         print_series(
             "BQ-VAE-QM9",
-            &train_curve(&mut bq_qm9, &qm9_n, epochs, args.seed, args.threads),
+            &train_curve(&mut bq_qm9, &qm9_n, epochs, &args),
         );
         let mut cvae_qm9 = models::classical_vae(64, 6, &mut rng);
         print_series(
             "CVAE-QM9",
-            &train_curve(&mut cvae_qm9, &qm9_n, epochs, args.seed, args.threads),
+            &train_curve(&mut cvae_qm9, &qm9_n, epochs, &args),
         );
         let mut bq_dig = models::f_bq_vae(64, models::BASELINE_LAYERS, &mut rng);
         print_series(
             "BQ-VAE-Digits",
-            &train_curve(&mut bq_dig, &digits_n, epochs, args.seed, args.threads),
+            &train_curve(&mut bq_dig, &digits_n, epochs, &args),
         );
         let mut cvae_dig = models::classical_vae(64, 6, &mut rng);
         print_series(
             "CVAE-Digits",
-            &train_curve(&mut cvae_dig, &digits_n, epochs, args.seed, args.threads),
+            &train_curve(&mut cvae_dig, &digits_n, epochs, &args),
         );
         println!("  expected shape: fully quantum BQ-VAE converges faster when normalized");
     }
@@ -114,7 +103,7 @@ fn main() {
         let digits_n = digits.l1_normalized();
         let mut rng = StdRng::seed_from_u64(args.seed);
         let mut bq = models::f_bq_vae(64, models::BASELINE_LAYERS, &mut rng);
-        train_curve(&mut bq, &digits_n, epochs, args.seed, args.threads);
+        train_curve(&mut bq, &digits_n, epochs, &args);
         for i in 0..3 {
             let x = batch_matrix(&[digits_n.sample(i)]);
             let recon = bq.reconstruct(&x).expect("reconstruction succeeds");
@@ -146,7 +135,7 @@ fn main() {
         // Original-scale reconstruction through the hybrid baseline.
         let mut rng = StdRng::seed_from_u64(args.seed);
         let mut hbq = models::h_bq_vae(64, models::BASELINE_LAYERS, &mut rng);
-        train_curve(&mut hbq, &qm9, epochs, args.seed, args.threads);
+        train_curve(&mut hbq, &qm9, epochs, &args);
         match sqvae_core::sampling::reconstruct_molecule(&mut hbq, &input_mol, 8, false, None) {
             Ok(Some(m)) => println!(
                 "  reconstructed (original scale): {} ({})",
@@ -159,7 +148,7 @@ fn main() {
         // rescale by the input's L1 norm for decoding.
         let qm9_n = qm9.l1_normalized();
         let mut fbq = models::f_bq_vae(64, models::BASELINE_LAYERS, &mut rng);
-        train_curve(&mut fbq, &qm9_n, epochs, args.seed, args.threads);
+        train_curve(&mut fbq, &qm9_n, epochs, &args);
         let l1: f64 = mol_feats.iter().sum();
         match sqvae_core::sampling::reconstruct_molecule(&mut fbq, &input_mol, 8, true, Some(l1)) {
             Ok(Some(m)) => println!(

@@ -32,6 +32,7 @@ fn main() {
             classical_lr: 0.01,
             seed: args.seed,
             threads: args.threads,
+            backend: args.backend,
             ..TrainConfig::default()
         };
         let mut rng = StdRng::seed_from_u64(args.seed);
@@ -68,6 +69,7 @@ fn main() {
                 epochs,
                 seed: args.seed,
                 threads: args.threads,
+                backend: args.backend,
                 ..TrainConfig::default()
             })
             .train(&mut ae, &train, Some(&test))
@@ -77,6 +79,7 @@ fn main() {
                 epochs,
                 seed: args.seed,
                 threads: args.threads,
+                backend: args.backend,
                 ..TrainConfig::default()
             })
             .train(&mut vae, &train, Some(&test))

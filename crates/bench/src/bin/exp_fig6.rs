@@ -40,6 +40,7 @@ fn main() {
             classical_lr: 0.001,
             seed: args.seed,
             threads: args.threads,
+            backend: args.backend,
             ..TrainConfig::default()
         })
         .train(&mut model, &train, Some(&test))

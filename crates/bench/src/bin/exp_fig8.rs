@@ -36,6 +36,7 @@ fn main() {
                     epochs,
                     seed: args.seed,
                     threads: args.threads,
+                    backend: args.backend,
                     ..TrainConfig::default()
                 })
                 .train(&mut model, &train, None)
@@ -72,6 +73,7 @@ fn main() {
                 epochs,
                 seed: args.seed,
                 threads: args.threads,
+                backend: args.backend,
                 ..TrainConfig::default()
             })
             .train(&mut model, &train_img, None)
@@ -99,6 +101,7 @@ fn main() {
                 epochs,
                 seed: args.seed,
                 threads: args.threads,
+                backend: args.backend,
                 ..TrainConfig::default()
             })
             .train(model, &train_img, None)

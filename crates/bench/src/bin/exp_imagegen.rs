@@ -42,6 +42,7 @@ fn main() {
         seed: args.seed,
         max_grad_norm: Some(5.0),
         threads: args.threads,
+        backend: args.backend,
         ..TrainConfig::default()
     })
     .train(&mut model, &data, None)
@@ -86,6 +87,7 @@ fn main() {
         classical_lr: 0.01,
         seed: args.seed,
         threads: args.threads,
+        backend: args.backend,
         ..TrainConfig::default()
     })
     .train(&mut fbq, &digits, None)

@@ -48,6 +48,7 @@ fn main() {
         let mut trainer = Trainer::new(TrainConfig {
             epochs,
             threads: args.threads,
+            backend: args.backend,
             ..TrainConfig::default()
         });
         trainer
@@ -63,6 +64,7 @@ fn main() {
         let mut trainer = Trainer::new(TrainConfig {
             epochs,
             threads: args.threads,
+            backend: args.backend,
             ..TrainConfig::default()
         });
         trainer

@@ -19,7 +19,7 @@
 //! runs. Results print as aligned text tables; EXPERIMENTS.md records the
 //! measured numbers next to the paper's.
 
-use sqvae_nn::{Matrix, Threads};
+use sqvae_nn::{BackendKind, Matrix, Threads};
 
 /// Scale of an experiment run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +43,10 @@ pub struct ExpArgs {
     /// defaults to the `SQVAE_THREADS` environment variable). Results are
     /// bit-identical for every setting — only wall-clock changes.
     pub threads: Threads,
+    /// Simulator backend for quantum layers (`--backend dense|fused`;
+    /// defaults to the `SQVAE_BACKEND` environment variable). Backends agree
+    /// to ~1e-15 — only wall-clock changes.
+    pub backend: BackendKind,
 }
 
 impl Default for ExpArgs {
@@ -52,6 +56,7 @@ impl Default for ExpArgs {
             panel: None,
             seed: 42,
             threads: Threads::from_env(),
+            backend: BackendKind::from_env(),
         }
     }
 }
@@ -60,8 +65,8 @@ impl ExpArgs {
     /// Parses `std::env::args()`-style arguments (skipping the binary name).
     ///
     /// Recognized: `--full`, `--quick`, `--panel <name>`, `--seed <n>`,
-    /// `--threads <auto|off|n>`. Unknown flags are ignored so wrappers can
-    /// pass extras through.
+    /// `--threads <auto|off|n>`, `--backend <dense|fused>`. Unknown flags
+    /// are ignored so wrappers can pass extras through.
     pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
         let mut out = ExpArgs::default();
         let mut it = args.into_iter();
@@ -81,6 +86,13 @@ impl ExpArgs {
                     if let Some(s) = it.next() {
                         if let Ok(t) = s.parse() {
                             out.threads = t;
+                        }
+                    }
+                }
+                "--backend" => {
+                    if let Some(s) = it.next() {
+                        if let Ok(b) = s.parse() {
+                            out.backend = b;
                         }
                     }
                 }
@@ -251,6 +263,15 @@ mod tests {
     fn parse_ignores_unknown_and_bad_values() {
         let a = args(&["--wat", "--seed", "not-a-number"]);
         assert_eq!(a.seed, 42);
+    }
+
+    #[test]
+    fn parse_backend_flag() {
+        assert_eq!(args(&["--backend", "fused"]).backend, BackendKind::Fused);
+        assert_eq!(args(&["--backend", "dense"]).backend, BackendKind::Dense);
+        // Bad specs keep the default rather than aborting an experiment.
+        let default = ExpArgs::default().backend;
+        assert_eq!(args(&["--backend", "quantum"]).backend, default);
     }
 
     #[test]

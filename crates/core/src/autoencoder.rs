@@ -208,6 +208,14 @@ impl Autoencoder {
         self.decoder.set_threads(threads);
     }
 
+    /// Sets the simulator backend on every quantum stage (classical stages
+    /// and latent heads ignore it). The trainer calls this with its
+    /// configured [`sqvae_nn::BackendKind`] before each run.
+    pub fn set_backend(&mut self, backend: sqvae_nn::BackendKind) {
+        self.encoder.set_backend(backend);
+        self.decoder.set_backend(backend);
+    }
+
     /// Zeroes every gradient.
     pub fn zero_grad(&mut self) {
         for p in self.parameters_of(ParamGroup::Quantum) {

@@ -108,6 +108,12 @@ impl Module for HybridStack {
             stage.set_threads(threads);
         }
     }
+
+    fn set_backend(&mut self, backend: sqvae_nn::BackendKind) {
+        for (_, stage) in &mut self.stages {
+            stage.set_backend(backend);
+        }
+    }
 }
 
 #[cfg(test)]

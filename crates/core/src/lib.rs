@@ -60,4 +60,4 @@ pub use trainer::{EpochRecord, History, TrainConfig, Trainer};
 
 // Re-exported so downstream users can set `TrainConfig::threads` without
 // depending on `sqvae-nn` directly.
-pub use sqvae_nn::Threads;
+pub use sqvae_nn::{BackendKind, Threads};

@@ -10,7 +10,7 @@
 
 use crate::quantum_layer::{QuantumInput, QuantumLayer, QuantumOutput};
 use rand::Rng;
-use sqvae_nn::{Matrix, Module, NnError, ParamTensor, Threads};
+use sqvae_nn::{parallel, BackendKind, Matrix, Module, NnError, ParamTensor, Threads};
 
 /// Latent space dimension of a patched encoder over `input_dim` features
 /// with `p` patches: `p · log2(input_dim / p)`.
@@ -59,6 +59,8 @@ pub struct PatchedQuantumLayer {
     patches: Vec<QuantumLayer>,
     in_per_patch: usize,
     out_per_patch: usize,
+    threads: Threads,
+    cached_slices: Option<Vec<Matrix>>,
 }
 
 impl PatchedQuantumLayer {
@@ -94,6 +96,8 @@ impl PatchedQuantumLayer {
             patches,
             in_per_patch: per_patch,
             out_per_patch: n_qubits,
+            threads: Threads::Off,
+            cached_slices: None,
         }
     }
 
@@ -125,6 +129,8 @@ impl PatchedQuantumLayer {
             patches,
             in_per_patch: n_qubits,
             out_per_patch: n_qubits,
+            threads: Threads::Off,
+            cached_slices: None,
         }
     }
 
@@ -151,6 +157,11 @@ impl PatchedQuantumLayer {
 }
 
 impl Module for PatchedQuantumLayer {
+    /// Forward pass: every `(patch, row)` pair is an independent simulation,
+    /// so the bank flattens the whole patch × batch grid into one work list
+    /// and shards it across threads with [`parallel::map_rows`] — a single
+    /// pool over both axes, no nesting. Results land in fixed `(patch, row)`
+    /// slots, so parallel execution is bit-identical to sequential.
     fn forward(&mut self, input: &Matrix) -> Result<Matrix, NnError> {
         if input.cols() != self.in_features() {
             return Err(NnError::ShapeMismatch {
@@ -158,28 +169,67 @@ impl Module for PatchedQuantumLayer {
                 actual: input.shape(),
             });
         }
-        let mut outs = Vec::with_capacity(self.patches.len());
-        for (k, patch) in self.patches.iter_mut().enumerate() {
-            let slice = input.columns(k * self.in_per_patch, (k + 1) * self.in_per_patch)?;
-            outs.push(patch.forward(&slice)?);
+        let p = self.patches.len();
+        let rows = input.rows();
+        let slices: Vec<Matrix> = (0..p)
+            .map(|k| input.columns(k * self.in_per_patch, (k + 1) * self.in_per_patch))
+            .collect::<Result<_, _>>()?;
+        let patches = &self.patches;
+        let results = parallel::map_rows(p * rows, self.threads, |idx| {
+            let (k, r) = (idx / rows, idx % rows);
+            patches[k].forward_row(slices[k].row(r))
+        });
+        let mut out = Matrix::zeros(rows, self.out_features());
+        for k in 0..p {
+            let cols = k * self.out_per_patch..(k + 1) * self.out_per_patch;
+            for r in 0..rows {
+                out.row_mut(r)[cols.clone()].copy_from_slice(&results[k * rows + r]);
+            }
         }
-        Matrix::hstack(&outs)
+        self.cached_slices = Some(slices);
+        Ok(out)
     }
 
+    /// Backward pass, sharded like [`PatchedQuantumLayer::forward`].
+    /// Gradients accumulate per patch in fixed row order, preserving the
+    /// bit-identical determinism guarantee.
     fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, NnError> {
-        if grad_output.cols() != self.out_features() {
+        let slices = self
+            .cached_slices
+            .take()
+            .ok_or(NnError::BackwardBeforeForward)?;
+        let rows = slices.first().map_or(0, Matrix::rows);
+        if grad_output.cols() != self.out_features() || grad_output.rows() != rows {
+            self.cached_slices = Some(slices);
             return Err(NnError::ShapeMismatch {
-                expected: (grad_output.rows(), self.out_features()),
+                expected: (rows, self.out_features()),
                 actual: grad_output.shape(),
             });
         }
-        let mut grads = Vec::with_capacity(self.patches.len());
+        let p = self.patches.len();
+        let grad_slices: Vec<Matrix> = (0..p)
+            .map(|k| grad_output.columns(k * self.out_per_patch, (k + 1) * self.out_per_patch))
+            .collect::<Result<_, _>>()?;
+        let patches = &self.patches;
+        let per = parallel::map_rows(p * rows, self.threads, |idx| {
+            let (k, r) = (idx / rows, idx % rows);
+            patches[k].backward_row(slices[k].row(r), grad_slices[k].row(r))
+        });
+        let mut grad_input = Matrix::zeros(rows, self.in_features());
         for (k, patch) in self.patches.iter_mut().enumerate() {
-            let slice =
-                grad_output.columns(k * self.out_per_patch, (k + 1) * self.out_per_patch)?;
-            grads.push(patch.backward(&slice)?);
+            let cols = k * self.in_per_patch..(k + 1) * self.in_per_patch;
+            for r in 0..rows {
+                let grads = &per[k * rows + r];
+                patch.accumulate_param_grads(&grads.params);
+                // Input gradients exist only for the differentiable angle
+                // embedding; amplitude-embedded raw data gets zeros.
+                if matches!(patch.input_mode(), QuantumInput::Angle) {
+                    grad_input.row_mut(r)[cols.clone()].copy_from_slice(&grads.inputs);
+                }
+            }
         }
-        Matrix::hstack(&grads)
+        self.cached_slices = Some(slices);
+        Ok(grad_input)
     }
 
     fn parameters(&mut self) -> Vec<&mut ParamTensor> {
@@ -190,10 +240,15 @@ impl Module for PatchedQuantumLayer {
     }
 
     fn set_threads(&mut self, threads: Threads) {
-        // Each patch shards its own row loop; patches themselves stay
-        // sequential to avoid nested thread pools.
+        // The bank shards the flattened patch × row grid itself; patches
+        // run their own rows inline (a row reaching a patch here is exactly
+        // one work item), so no nested pools ever form.
+        self.threads = threads;
+    }
+
+    fn set_backend(&mut self, backend: BackendKind) {
         for patch in &mut self.patches {
-            patch.set_threads(threads);
+            patch.set_backend(backend);
         }
     }
 }

@@ -11,17 +11,22 @@
 //! [`Threads::Off`]; the trainer propagates its configured policy). Per-row
 //! results land in preallocated row slots and gradients accumulate in fixed
 //! row order, so the parallel path is bit-identical to the sequential one.
+//!
+//! Which simulator executes the circuit is a second policy,
+//! [`BackendKind`]: every row dispatches onto the dense reference register
+//! or the fused-kernel backend (`SQVAE_BACKEND`, `TrainConfig::backend`,
+//! [`Module::set_backend`]); backends agree to ≤ 1e-12.
 
 use rand::Rng;
 use sqvae_nn::parallel::{self, Threads};
-use sqvae_nn::{init, Matrix, Module, NnError, ParamTensor};
+use sqvae_nn::{init, BackendKind, Matrix, Module, NnError, ParamTensor};
 use sqvae_quantum::embed::{
     amplitude_embedding, angle_embedding_gates, qubits_for_features, RotationAxis,
 };
 use sqvae_quantum::grad::adjoint;
 use sqvae_quantum::grad::CircuitGradients;
 use sqvae_quantum::templates::{strongly_entangling_layers, EntangleRange};
-use sqvae_quantum::Circuit;
+use sqvae_quantum::{Backend, Circuit, FusedDenseBackend, StateVector};
 
 /// How classical data enters the circuit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +80,7 @@ pub struct QuantumLayer {
     params: ParamTensor,
     cached_input: Option<Matrix>,
     threads: Threads,
+    backend: BackendKind,
 }
 
 impl QuantumLayer {
@@ -121,6 +127,7 @@ impl QuantumLayer {
             params,
             cached_input: None,
             threads: Threads::Off,
+            backend: BackendKind::default(),
         }
     }
 
@@ -133,6 +140,17 @@ impl QuantumLayer {
     /// The current batch-row parallelism policy.
     pub fn threads(&self) -> Threads {
         self.threads
+    }
+
+    /// Builder-style variant of [`Module::set_backend`].
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The simulator backend this layer's circuit executes on.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
     }
 
     /// Number of wires.
@@ -176,24 +194,38 @@ impl QuantumLayer {
         Ok(())
     }
 
-    fn forward_row(&self, row: &[f64]) -> Vec<f64> {
+    /// The amplitude-embedded starting state for `row` (all-zero rows embed
+    /// `|0…0⟩` instead — zero vectors carry no information; this keeps
+    /// training robust).
+    fn embedded_initial(&self, row: &[f64]) -> StateVector {
+        match amplitude_embedding(row, self.circuit.n_qubits()) {
+            Ok(s) => s,
+            Err(_) => StateVector::zero_state(self.circuit.n_qubits()).expect("valid register"),
+        }
+    }
+
+    /// One batch row's forward simulation, on the configured backend.
+    /// Crate-internal so [`crate::PatchedQuantumLayer`] can drive patch rows
+    /// through its own work-sharding without borrowing the layer mutably.
+    pub(crate) fn forward_row(&self, row: &[f64]) -> Vec<f64> {
+        match self.backend {
+            BackendKind::Dense => self.forward_row_on::<StateVector>(row),
+            BackendKind::Fused => self.forward_row_on::<FusedDenseBackend>(row),
+        }
+    }
+
+    fn forward_row_on<B: Backend>(&self, row: &[f64]) -> Vec<f64> {
         let theta = self.params.value.as_slice();
-        let state = match self.input_mode {
+        let state: B = match self.input_mode {
             QuantumInput::Amplitude { .. } => {
-                let init = match amplitude_embedding(row, self.circuit.n_qubits()) {
-                    Ok(s) => s,
-                    // All-zero row: embed |0…0⟩ instead (zero vectors carry
-                    // no information; this keeps training robust).
-                    Err(_) => sqvae_quantum::StateVector::zero_state(self.circuit.n_qubits())
-                        .expect("valid register"),
-                };
+                let init = B::from_statevector(self.embedded_initial(row));
                 self.circuit
-                    .run(theta, &[], Some(&init))
+                    .run_on(theta, &[], Some(&init))
                     .expect("validated circuit")
             }
             QuantumInput::Angle => self
                 .circuit
-                .run(theta, row, None)
+                .run_on(theta, row, None::<&B>)
                 .expect("validated circuit"),
         };
         match self.output_mode {
@@ -205,24 +237,29 @@ impl QuantumLayer {
         }
     }
 
-    fn backward_row(&self, row: &[f64], upstream: &[f64]) -> CircuitGradients {
+    /// One batch row's adjoint backward pass, on the configured backend
+    /// (crate-internal for the same reason as [`Self::forward_row`]).
+    pub(crate) fn backward_row(&self, row: &[f64], upstream: &[f64]) -> CircuitGradients {
+        match self.backend {
+            BackendKind::Dense => self.backward_row_on::<StateVector>(row, upstream),
+            BackendKind::Fused => self.backward_row_on::<FusedDenseBackend>(row, upstream),
+        }
+    }
+
+    fn backward_row_on<B: Backend>(&self, row: &[f64], upstream: &[f64]) -> CircuitGradients {
         let theta = self.params.value.as_slice();
         match self.input_mode {
             QuantumInput::Amplitude { .. } => {
-                let init = match amplitude_embedding(row, self.circuit.n_qubits()) {
-                    Ok(s) => s,
-                    Err(_) => sqvae_quantum::StateVector::zero_state(self.circuit.n_qubits())
-                        .expect("valid register"),
-                };
+                let init = B::from_statevector(self.embedded_initial(row));
                 match self.output_mode {
-                    QuantumOutput::ExpectationZ => adjoint::backward_expectations_z(
+                    QuantumOutput::ExpectationZ => adjoint::backward_expectations_z_on(
                         &self.circuit,
                         theta,
                         &[],
                         Some(&init),
                         upstream,
                     ),
-                    QuantumOutput::Probabilities => adjoint::backward_probabilities(
+                    QuantumOutput::Probabilities => adjoint::backward_probabilities_on(
                         &self.circuit,
                         theta,
                         &[],
@@ -232,15 +269,32 @@ impl QuantumLayer {
                 }
             }
             QuantumInput::Angle => match self.output_mode {
-                QuantumOutput::ExpectationZ => {
-                    adjoint::backward_expectations_z(&self.circuit, theta, row, None, upstream)
-                }
-                QuantumOutput::Probabilities => {
-                    adjoint::backward_probabilities(&self.circuit, theta, row, None, upstream)
-                }
+                QuantumOutput::ExpectationZ => adjoint::backward_expectations_z_on(
+                    &self.circuit,
+                    theta,
+                    row,
+                    None::<&B>,
+                    upstream,
+                ),
+                QuantumOutput::Probabilities => adjoint::backward_probabilities_on(
+                    &self.circuit,
+                    theta,
+                    row,
+                    None::<&B>,
+                    upstream,
+                ),
             },
         }
         .expect("validated circuit")
+    }
+
+    /// Adds one row's parameter gradients into the accumulated gradient, in
+    /// caller-chosen order (the determinism guarantee lives with the caller).
+    pub(crate) fn accumulate_param_grads(&mut self, row_grads: &[f64]) {
+        for (i, g) in row_grads.iter().enumerate() {
+            let cur = self.params.grad.get(0, i);
+            self.params.grad.set(0, i, cur + g);
+        }
     }
 }
 
@@ -276,10 +330,7 @@ impl Module for QuantumLayer {
         // sequential floating-point sums bit for bit.
         let mut grad_input = Matrix::zeros(per_row.len(), self.in_features());
         for (r, grads) in per_row.iter().enumerate() {
-            for (i, g) in grads.params.iter().enumerate() {
-                let cur = self.params.grad.get(0, i);
-                self.params.grad.set(0, i, cur + g);
-            }
+            self.accumulate_param_grads(&grads.params);
             // Input gradients exist only for the differentiable angle
             // embedding; amplitude-embedded raw data gets zeros.
             if matches!(self.input_mode, QuantumInput::Angle) {
@@ -295,6 +346,10 @@ impl Module for QuantumLayer {
 
     fn set_threads(&mut self, threads: Threads) {
         self.threads = threads;
+    }
+
+    fn set_backend(&mut self, backend: BackendKind) {
+        self.backend = backend;
     }
 }
 
@@ -491,6 +546,51 @@ mod tests {
             assert_eq!(par.forward(&x).unwrap(), y_seq, "{threads:?}");
             assert_eq!(par.backward(&g).unwrap(), gi_seq, "{threads:?}");
             assert_eq!(par.params.grad, seq.params.grad, "{threads:?}");
+        }
+    }
+
+    #[test]
+    fn fused_backend_matches_dense_numerically() {
+        for (input, output) in [
+            (
+                QuantumInput::Amplitude { in_features: 8 },
+                QuantumOutput::ExpectationZ,
+            ),
+            (QuantumInput::Angle, QuantumOutput::Probabilities),
+        ] {
+            let layer_with = |backend: BackendKind| {
+                let mut r = rng();
+                QuantumLayer::new(3, 2, input, output, &mut r).with_backend(backend)
+            };
+            let x = Matrix::from_fn(4, input_width(input), |i, j| {
+                0.15 * (i + 1) as f64 + 0.07 * j as f64
+            });
+            let mut dense = layer_with(BackendKind::Dense);
+            let mut fused = layer_with(BackendKind::Fused);
+            let yd = dense.forward(&x).unwrap();
+            let yf = fused.forward(&x).unwrap();
+            for (a, b) in yd.as_slice().iter().zip(yf.as_slice()) {
+                assert!((a - b).abs() < 1e-12, "forward {a} vs {b}");
+            }
+            let g = Matrix::from_fn(4, yd.cols(), |i, j| 0.3 * (i as f64) - 0.1 * (j as f64));
+            dense.backward(&g).unwrap();
+            fused.backward(&g).unwrap();
+            for (a, b) in dense
+                .params
+                .grad
+                .as_slice()
+                .iter()
+                .zip(fused.params.grad.as_slice())
+            {
+                assert!((a - b).abs() < 1e-12, "grad {a} vs {b}");
+            }
+        }
+    }
+
+    fn input_width(input: QuantumInput) -> usize {
+        match input {
+            QuantumInput::Amplitude { in_features } => in_features,
+            QuantumInput::Angle => 3,
         }
     }
 

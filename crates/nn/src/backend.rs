@@ -1,0 +1,103 @@
+//! Simulator-backend selection policy.
+//!
+//! The quantum substrate (`sqvae-quantum`) exposes a `Backend` trait with
+//! multiple register implementations; *which* one a model's quantum layers
+//! use is a training-time policy, exactly like the [`crate::Threads`]
+//! row-parallelism policy that lives next door. [`BackendKind`] names the
+//! available choices, parses from the `SQVAE_BACKEND` environment variable
+//! and `--backend` experiment flags, and travels through
+//! [`crate::Module::set_backend`] from the trainer down to every quantum
+//! stage. Layers without a simulator inside simply ignore it.
+//!
+//! Every backend computes the same quantities; selections differ only in
+//! wall-clock (and, at the ~1e-15 level, in floating-point rounding, since
+//! fused kernels reorder arithmetic). For a fixed selection, results are
+//! fully deterministic.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Name of the environment variable read by [`BackendKind::from_env`].
+pub const BACKEND_ENV_VAR: &str = "SQVAE_BACKEND";
+
+/// Which simulator backend the quantum layers execute on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// The dense reference statevector kernels (one pass per gate).
+    #[default]
+    Dense,
+    /// Dense amplitudes behind fused kernels: adjacent single-qubit gates
+    /// on one wire collapse into a single 2×2 pass, CNOT runs into one
+    /// permutation pass, and controlled kernels skip the control-clear
+    /// half-space.
+    Fused,
+}
+
+impl BackendKind {
+    /// Reads the policy from the `SQVAE_BACKEND` environment variable:
+    /// unset, empty, or `dense` → [`BackendKind::Dense`]; `fused` →
+    /// [`BackendKind::Fused`]. Unparseable values fall back to the default
+    /// (dense) rather than aborting a run.
+    pub fn from_env() -> Self {
+        match std::env::var(BACKEND_ENV_VAR) {
+            Ok(v) => v.parse().unwrap_or_default(),
+            Err(_) => BackendKind::default(),
+        }
+    }
+
+    /// Short lowercase name (`dense` / `fused`), matching what
+    /// [`FromStr`] accepts.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Dense => "dense",
+            BackendKind::Fused => "fused",
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim() {
+            "" | "dense" => Ok(BackendKind::Dense),
+            "fused" => Ok(BackendKind::Fused),
+            other => Err(format!(
+                "invalid backend spec '{other}' (want dense or fused)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_backend_specs() {
+        assert_eq!("dense".parse::<BackendKind>(), Ok(BackendKind::Dense));
+        assert_eq!("".parse::<BackendKind>(), Ok(BackendKind::Dense));
+        assert_eq!("fused".parse::<BackendKind>(), Ok(BackendKind::Fused));
+        assert_eq!(" fused ".parse::<BackendKind>(), Ok(BackendKind::Fused));
+        assert!("gpu".parse::<BackendKind>().is_err());
+    }
+
+    #[test]
+    fn default_is_dense() {
+        assert_eq!(BackendKind::default(), BackendKind::Dense);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for kind in [BackendKind::Dense, BackendKind::Fused] {
+            assert_eq!(kind.name().parse::<BackendKind>(), Ok(kind));
+            assert_eq!(format!("{kind}"), kind.name());
+        }
+    }
+}

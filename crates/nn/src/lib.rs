@@ -46,11 +46,13 @@ mod module;
 mod optim;
 mod sequential;
 
+pub mod backend;
 pub mod init;
 pub mod loss;
 pub mod parallel;
 
 pub use activation::{Activation, ActivationKind};
+pub use backend::BackendKind;
 pub use error::{NnError, Result};
 pub use linear::Linear;
 pub use matrix::Matrix;

@@ -6,6 +6,7 @@
 //! quantum-classical pipeline composes: the quantum layers implement the same
 //! contract with adjoint differentiation inside.
 
+use crate::backend::BackendKind;
 use crate::error::Result;
 use crate::matrix::Matrix;
 use crate::parallel::Threads;
@@ -84,6 +85,11 @@ pub trait Module {
     /// independently (the quantum stages) shard work accordingly; purely
     /// classical layers ignore it, and containers forward it to children.
     fn set_threads(&mut self, _threads: Threads) {}
+
+    /// Sets the simulator backend the layer's quantum circuits execute on.
+    /// Purely classical layers ignore it; containers forward it to children
+    /// — the same contract as [`Module::set_threads`].
+    fn set_backend(&mut self, _backend: BackendKind) {}
 }
 
 #[cfg(test)]

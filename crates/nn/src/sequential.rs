@@ -94,6 +94,12 @@ impl Module for Sequential {
             layer.set_threads(threads);
         }
     }
+
+    fn set_backend(&mut self, backend: crate::backend::BackendKind) {
+        for layer in &mut self.layers {
+            layer.set_backend(backend);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,572 @@
+//! Pluggable simulator backends.
+//!
+//! Every consumer of the simulator — [`crate::Circuit::run_on`], the whole
+//! [`crate::grad`] module, and the quantum layers built on top — is generic
+//! over a [`Backend`]: the set of primitive register operations a simulation
+//! strategy must provide. Two implementations ship today:
+//!
+//! * [`DenseBackend`] (an alias for [`StateVector`]) — the reference
+//!   semantics: every gate is one pass over the `2^n` amplitudes.
+//! * [`FusedDenseBackend`] — the same dense amplitudes behind optimized
+//!   kernels: runs of adjacent single-qubit gates on one wire fuse into a
+//!   single 2×2 matmul pass, a run of CNOTs (the paper's ring template)
+//!   collapses into one permutation pass, and controlled kernels enumerate
+//!   only the control-set half-space instead of scanning the full register.
+//!
+//! The trait is the seam future GPU / sparse / tensor-network backends slot
+//! into; the adjoint engine and trainers never name a concrete register type.
+//! Backend *selection* (the `SQVAE_BACKEND` environment variable and the
+//! `--backend` experiment flag) lives in `sqvae_nn::BackendKind`, next to the
+//! analogous `Threads` policy.
+
+use crate::complex::C64;
+use crate::error::{QuantumError, Result};
+use crate::gate::Gate;
+use crate::state::StateVector;
+
+/// The dense reference backend: exactly today's [`StateVector`] kernels.
+pub type DenseBackend = StateVector;
+
+/// Primitive register operations a simulation strategy must provide.
+///
+/// Semantics are fixed by [`StateVector`] (the reference implementation);
+/// alternative backends may reorder floating-point work, so results are
+/// required to match the dense backend only to high precision (the
+/// equivalence property tests pin ≤ 1e-12), not bit-for-bit.
+pub trait Backend: Clone + std::fmt::Debug {
+    /// Short human-readable backend name (for logs and benches).
+    const NAME: &'static str;
+
+    /// Creates the all-zeros basis state `|0…0⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::UnsupportedRegisterSize`] for 0 or more than
+    /// [`crate::MAX_QUBITS`] qubits.
+    fn zero_state(n_qubits: usize) -> Result<Self>
+    where
+        Self: Sized;
+
+    /// Wraps an embedded dense state (amplitude embeddings produce a
+    /// [`StateVector`]; backends adopt its amplitudes).
+    fn from_statevector(state: StateVector) -> Self
+    where
+        Self: Sized;
+
+    /// Borrows the dense amplitudes backing this register.
+    fn statevector(&self) -> &StateVector;
+
+    /// Converts back into a plain dense register.
+    fn into_statevector(self) -> StateVector;
+
+    /// Resets the register to `|0…0⟩` in place.
+    fn reset(&mut self);
+
+    /// Number of qubits in the register.
+    #[inline]
+    fn n_qubits(&self) -> usize {
+        self.statevector().n_qubits()
+    }
+
+    /// Hilbert-space dimension `2^n`.
+    #[inline]
+    fn dim(&self) -> usize {
+        self.statevector().dim()
+    }
+
+    /// Bit position (from the least significant end) of `wire`.
+    #[inline]
+    fn bit_of_wire(&self, wire: usize) -> usize {
+        self.n_qubits() - 1 - wire
+    }
+
+    /// Checks that `wire` addresses this register.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::WireOutOfRange`] for an invalid wire.
+    fn check_wire(&self, wire: usize) -> Result<()> {
+        if wire >= self.n_qubits() {
+            Err(QuantumError::WireOutOfRange {
+                wire,
+                n_qubits: self.n_qubits(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Applies an arbitrary single-qubit unitary `m` (row-major 2×2) to
+    /// `wire`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::WireOutOfRange`] for an invalid wire.
+    fn apply_single_qubit(&mut self, wire: usize, m: &[[C64; 2]; 2]) -> Result<()>;
+
+    /// Applies a single-qubit unitary to `target`, controlled on `control`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid wires or `control == target`.
+    fn apply_controlled(&mut self, control: usize, target: usize, m: &[[C64; 2]; 2]) -> Result<()>;
+
+    /// Applies a CNOT with the given control and target wires.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid wires or `control == target`.
+    fn apply_cnot(&mut self, control: usize, target: usize) -> Result<()>;
+
+    /// Multiplies each amplitude by the diagonal entries `d` (the adjoint
+    /// engine's observable application).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d.len() != self.dim()`.
+    fn apply_diagonal_real(&mut self, d: &[f64]);
+
+    /// Expectation value `⟨ψ|Z_wire|ψ⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::WireOutOfRange`] for an invalid wire.
+    fn expectation_z(&self, wire: usize) -> Result<f64>;
+
+    /// Expectation of an arbitrary real diagonal observable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d.len() != self.dim()`.
+    fn expectation_diagonal(&self, d: &[f64]) -> f64;
+
+    /// Probabilities of all `2^n` basis states.
+    fn probabilities(&self) -> Vec<f64>;
+
+    /// The inner product `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    fn inner(&self, other: &Self) -> C64;
+
+    /// Executes a gate sequence with resolved parameter/input bindings.
+    ///
+    /// The default walks the ops one gate at a time; backends override it to
+    /// fuse or specialize whole sub-sequences (this is where
+    /// [`FusedDenseBackend`] earns its name).
+    ///
+    /// # Errors
+    ///
+    /// Propagates wire-validation errors from the kernels.
+    fn apply_ops(&mut self, ops: &[Gate], params: &[f64], inputs: &[f64]) -> Result<()>
+    where
+        Self: Sized,
+    {
+        for g in ops {
+            let theta = g.param().map_or(0.0, |p| p.resolve(params, inputs));
+            g.apply(self, theta)?;
+        }
+        Ok(())
+    }
+}
+
+impl Backend for StateVector {
+    const NAME: &'static str = "dense";
+
+    fn zero_state(n_qubits: usize) -> Result<Self> {
+        StateVector::zero_state(n_qubits)
+    }
+
+    fn from_statevector(state: StateVector) -> Self {
+        state
+    }
+
+    fn statevector(&self) -> &StateVector {
+        self
+    }
+
+    fn into_statevector(self) -> StateVector {
+        self
+    }
+
+    fn reset(&mut self) {
+        StateVector::reset(self);
+    }
+
+    fn apply_single_qubit(&mut self, wire: usize, m: &[[C64; 2]; 2]) -> Result<()> {
+        StateVector::apply_single_qubit(self, wire, m)
+    }
+
+    fn apply_controlled(&mut self, control: usize, target: usize, m: &[[C64; 2]; 2]) -> Result<()> {
+        StateVector::apply_controlled(self, control, target, m)
+    }
+
+    fn apply_cnot(&mut self, control: usize, target: usize) -> Result<()> {
+        StateVector::apply_cnot(self, control, target)
+    }
+
+    fn apply_diagonal_real(&mut self, d: &[f64]) {
+        StateVector::apply_diagonal_real(self, d);
+    }
+
+    fn expectation_z(&self, wire: usize) -> Result<f64> {
+        StateVector::expectation_z(self, wire)
+    }
+
+    fn expectation_diagonal(&self, d: &[f64]) -> f64 {
+        StateVector::expectation_diagonal(self, d)
+    }
+
+    fn probabilities(&self) -> Vec<f64> {
+        StateVector::probabilities(self)
+    }
+
+    fn inner(&self, other: &Self) -> C64 {
+        StateVector::inner(self, other)
+    }
+}
+
+/// Dense amplitudes behind fused and half-space-specialized kernels.
+///
+/// Three optimizations over the reference [`DenseBackend`]:
+///
+/// 1. **Single-qubit fusion** — adjacent single-qubit gates on the same wire
+///    (the template's `RZ·RY·RZ` rotations) compose into one 2×2 matrix
+///    applied in a single pass over the amplitudes.
+/// 2. **CNOT-run specialization** — a run of consecutive CNOTs (the paper's
+///    ring entangler) is a basis-state permutation; the whole run becomes
+///    one gather pass instead of one sweep per gate.
+/// 3. **Half-space controlled kernels** — [`Backend::apply_controlled`] and
+///    [`Backend::apply_cnot`] enumerate only the `dim/4` indices with the
+///    control bit set and the target bit clear, instead of scanning and
+///    testing all `2^n` indices.
+///
+/// Because fusion reorders floating-point arithmetic, results match the
+/// dense backend to ~1e-15 per amplitude (property-tested at ≤1e-12), not
+/// bit-for-bit. For a fixed backend selection, results remain fully
+/// deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use sqvae_quantum::backend::{Backend, FusedDenseBackend};
+/// use sqvae_quantum::{Circuit, Param};
+///
+/// let mut c = Circuit::new(2)?;
+/// c.ry(0, Param::Fixed(0.3))?;
+/// c.cnot(0, 1)?;
+/// let state: FusedDenseBackend = c.run_on(&[], &[], None)?;
+/// assert_eq!(state.probabilities().len(), 4);
+/// # Ok::<(), sqvae_quantum::QuantumError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedDenseBackend(StateVector);
+
+impl FusedDenseBackend {
+    /// Enumerates the `dim/4` basis indices with `cbit` set and `tbit`
+    /// clear, calling `f(i, j)` for each pair `(i, i | tmask)`.
+    fn for_each_controlled_pair(
+        &mut self,
+        cbit: usize,
+        tbit: usize,
+        mut f: impl FnMut(usize, usize, &mut [C64]),
+    ) {
+        let cmask = 1usize << cbit;
+        let tmask = 1usize << tbit;
+        let (b1, b2) = if cbit < tbit {
+            (cbit, tbit)
+        } else {
+            (tbit, cbit)
+        };
+        let dim = self.0.dim();
+        let amps = self.0.amps_mut();
+        // Expand each k in 0..dim/4 to a full index with zero bits inserted
+        // at positions b1 and b2, then force the control bit on.
+        for k in 0..(dim >> 2) {
+            let low = k & ((1usize << b1) - 1);
+            let mid = (k >> b1) & ((1usize << (b2 - b1 - 1)) - 1);
+            let high = k >> (b2 - 1);
+            let base = (high << (b2 + 1)) | (mid << (b1 + 1)) | low;
+            let i = base | cmask;
+            f(i, i | tmask, amps);
+        }
+    }
+
+    /// Validates a controlled gate's wires.
+    fn check_controlled(&self, control: usize, target: usize) -> Result<()> {
+        self.check_wire(control)?;
+        self.check_wire(target)?;
+        if control == target {
+            return Err(QuantumError::ControlEqualsTarget { wire: control });
+        }
+        Ok(())
+    }
+
+    /// Applies a run of consecutive CNOTs as one permutation pass.
+    ///
+    /// Each CNOT is the basis involution `π(i) = i ⊕ (bit_c(i) << t)`; the
+    /// composed circuit sends `amps[σ(i)]` to slot `i`, where `σ` chains the
+    /// per-gate involutions in reverse order — one gather over the register
+    /// regardless of the run length.
+    fn apply_cnot_run(&mut self, pairs: &[(usize, usize)]) -> Result<()> {
+        for &(c, t) in pairs {
+            self.check_controlled(c, t)?;
+        }
+        let n = self.0.n_qubits();
+        let masks: Vec<(usize, usize)> = pairs
+            .iter()
+            .map(|&(c, t)| (n - 1 - c, 1usize << (n - 1 - t)))
+            .collect();
+        let amps = self.0.amps_mut();
+        let gathered: Vec<C64> = (0..amps.len())
+            .map(|i| {
+                let mut src = i;
+                for &(cbit, tmask) in masks.iter().rev() {
+                    src ^= ((src >> cbit) & 1) * tmask;
+                }
+                amps[src]
+            })
+            .collect();
+        *amps = gathered;
+        Ok(())
+    }
+}
+
+impl Backend for FusedDenseBackend {
+    const NAME: &'static str = "fused";
+
+    fn zero_state(n_qubits: usize) -> Result<Self> {
+        Ok(FusedDenseBackend(StateVector::zero_state(n_qubits)?))
+    }
+
+    fn from_statevector(state: StateVector) -> Self {
+        FusedDenseBackend(state)
+    }
+
+    fn statevector(&self) -> &StateVector {
+        &self.0
+    }
+
+    fn into_statevector(self) -> StateVector {
+        self.0
+    }
+
+    fn reset(&mut self) {
+        self.0.reset();
+    }
+
+    fn apply_single_qubit(&mut self, wire: usize, m: &[[C64; 2]; 2]) -> Result<()> {
+        self.0.apply_single_qubit(wire, m)
+    }
+
+    fn apply_controlled(&mut self, control: usize, target: usize, m: &[[C64; 2]; 2]) -> Result<()> {
+        self.check_controlled(control, target)?;
+        let cbit = self.bit_of_wire(control);
+        let tbit = self.bit_of_wire(target);
+        let m = *m;
+        self.for_each_controlled_pair(cbit, tbit, |i, j, amps| {
+            let a0 = amps[i];
+            let a1 = amps[j];
+            amps[i] = m[0][0] * a0 + m[0][1] * a1;
+            amps[j] = m[1][0] * a0 + m[1][1] * a1;
+        });
+        Ok(())
+    }
+
+    fn apply_cnot(&mut self, control: usize, target: usize) -> Result<()> {
+        self.check_controlled(control, target)?;
+        let cbit = self.bit_of_wire(control);
+        let tbit = self.bit_of_wire(target);
+        self.for_each_controlled_pair(cbit, tbit, |i, j, amps| amps.swap(i, j));
+        Ok(())
+    }
+
+    fn apply_diagonal_real(&mut self, d: &[f64]) {
+        self.0.apply_diagonal_real(d);
+    }
+
+    fn expectation_z(&self, wire: usize) -> Result<f64> {
+        self.0.expectation_z(wire)
+    }
+
+    fn expectation_diagonal(&self, d: &[f64]) -> f64 {
+        self.0.expectation_diagonal(d)
+    }
+
+    fn probabilities(&self) -> Vec<f64> {
+        self.0.probabilities()
+    }
+
+    fn inner(&self, other: &Self) -> C64 {
+        self.0.inner(&other.0)
+    }
+
+    fn apply_ops(&mut self, ops: &[Gate], params: &[f64], inputs: &[f64]) -> Result<()> {
+        let resolve = |g: &Gate| g.param().map_or(0.0, |p| p.resolve(params, inputs));
+        let mut i = 0;
+        while i < ops.len() {
+            let theta = resolve(&ops[i]);
+            if let Some((wire, mut m)) = ops[i].single_qubit_matrix(theta) {
+                // Fuse the maximal run of single-qubit gates on this wire.
+                let mut j = i + 1;
+                while j < ops.len() {
+                    match ops[j].single_qubit_matrix(resolve(&ops[j])) {
+                        Some((w2, m2)) if w2 == wire => {
+                            m = matmul2(&m2, &m);
+                            j += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                self.apply_single_qubit(wire, &m)?;
+                i = j;
+            } else if matches!(ops[i], Gate::CNOT(..)) {
+                // Collect the maximal run of consecutive CNOTs (the ring
+                // template) and apply it as one permutation pass.
+                let mut pairs = Vec::new();
+                let mut j = i;
+                while let Some(Gate::CNOT(c, t)) = ops.get(j) {
+                    pairs.push((*c, *t));
+                    j += 1;
+                }
+                if pairs.len() >= 2 {
+                    self.apply_cnot_run(&pairs)?;
+                } else {
+                    self.apply_cnot(pairs[0].0, pairs[0].1)?;
+                }
+                i = j;
+            } else {
+                ops[i].apply(self, theta)?;
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Row-major product `a · b` of two 2×2 complex matrices (gate `b` applied
+/// first, then `a`).
+fn matmul2(a: &[[C64; 2]; 2], b: &[[C64; 2]; 2]) -> [[C64; 2]; 2] {
+    [
+        [
+            a[0][0] * b[0][0] + a[0][1] * b[1][0],
+            a[0][0] * b[0][1] + a[0][1] * b[1][1],
+        ],
+        [
+            a[1][0] * b[0][0] + a[1][1] * b[1][0],
+            a[1][0] * b[0][1] + a[1][1] * b[1][1],
+        ],
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::{hadamard, pauli_x, ry_matrix, rz_matrix};
+
+    fn assert_states_close(a: &StateVector, b: &StateVector, tol: f64) {
+        assert_eq!(a.dim(), b.dim());
+        for (x, y) in a.amplitudes().iter().zip(b.amplitudes()) {
+            assert!(x.approx_eq(*y, tol), "{x} != {y}");
+        }
+    }
+
+    #[test]
+    fn names_distinguish_backends() {
+        assert_eq!(<DenseBackend as Backend>::NAME, "dense");
+        assert_eq!(FusedDenseBackend::NAME, "fused");
+    }
+
+    #[test]
+    fn fused_half_space_cnot_matches_dense() {
+        for n in 2..=4 {
+            for c in 0..n {
+                for t in 0..n {
+                    if c == t {
+                        continue;
+                    }
+                    let mut dense = StateVector::zero_state(n).unwrap();
+                    for w in 0..n {
+                        dense
+                            .apply_single_qubit(w, &ry_matrix(0.3 + w as f64))
+                            .unwrap();
+                    }
+                    let mut fused = FusedDenseBackend::from_statevector(dense.clone());
+                    dense.apply_cnot(c, t).unwrap();
+                    Backend::apply_cnot(&mut fused, c, t).unwrap();
+                    assert_states_close(&dense, fused.statevector(), 1e-15);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_half_space_controlled_matches_dense() {
+        let m = ry_matrix(1.1);
+        for (c, t) in [(0usize, 2usize), (2, 0), (1, 2), (2, 1), (0, 1)] {
+            let mut dense = StateVector::zero_state(3).unwrap();
+            for w in 0..3 {
+                dense.apply_single_qubit(w, &hadamard()).unwrap();
+                dense
+                    .apply_single_qubit(w, &rz_matrix(0.2 * w as f64))
+                    .unwrap();
+            }
+            let mut fused = FusedDenseBackend::from_statevector(dense.clone());
+            dense.apply_controlled(c, t, &m).unwrap();
+            Backend::apply_controlled(&mut fused, c, t, &m).unwrap();
+            assert_states_close(&dense, fused.statevector(), 1e-15);
+        }
+    }
+
+    #[test]
+    fn cnot_run_is_one_permutation_pass() {
+        // The 4-wire ring: CNOT(0,1), (1,2), (2,3), (3,0).
+        let ring: Vec<(usize, usize)> = (0..4).map(|w| (w, (w + 1) % 4)).collect();
+        let mut dense = StateVector::zero_state(4).unwrap();
+        for w in 0..4 {
+            dense
+                .apply_single_qubit(w, &ry_matrix(0.4 + 0.3 * w as f64))
+                .unwrap();
+        }
+        let mut fused = FusedDenseBackend::from_statevector(dense.clone());
+        for &(c, t) in &ring {
+            dense.apply_cnot(c, t).unwrap();
+        }
+        fused.apply_cnot_run(&ring).unwrap();
+        // Pure permutations move amplitudes without arithmetic: exact match.
+        assert_eq!(&dense, fused.statevector());
+    }
+
+    #[test]
+    fn single_qubit_fusion_composes_in_gate_order() {
+        // X then H on wire 0 fused = H·X as a matrix.
+        let fusedm = matmul2(&hadamard(), &pauli_x());
+        let mut seq = StateVector::zero_state(1).unwrap();
+        seq.apply_single_qubit(0, &pauli_x()).unwrap();
+        seq.apply_single_qubit(0, &hadamard()).unwrap();
+        let mut one = StateVector::zero_state(1).unwrap();
+        one.apply_single_qubit(0, &fusedm).unwrap();
+        assert_states_close(&seq, &one, 1e-15);
+    }
+
+    #[test]
+    fn kernel_errors_surface_through_the_trait() {
+        let mut f = FusedDenseBackend::zero_state(2).unwrap();
+        assert!(Backend::apply_cnot(&mut f, 0, 0).is_err());
+        assert!(Backend::apply_cnot(&mut f, 0, 5).is_err());
+        assert!(Backend::apply_controlled(&mut f, 3, 0, &pauli_x()).is_err());
+        assert!(f.apply_cnot_run(&[(0, 1), (1, 1)]).is_err());
+    }
+
+    #[test]
+    fn reset_and_round_trip() {
+        let mut f = FusedDenseBackend::zero_state(2).unwrap();
+        Backend::apply_single_qubit(&mut f, 0, &pauli_x()).unwrap();
+        assert!(f.statevector().probability(0b10) > 0.99);
+        f.reset();
+        assert!((f.statevector().probability(0) - 1.0).abs() < 1e-15);
+        let sv = f.clone().into_statevector();
+        assert_eq!(&sv, f.statevector());
+    }
+}

@@ -1,5 +1,6 @@
 //! Parametrized circuit container and executor.
 
+use crate::backend::Backend;
 use crate::error::{QuantumError, Result};
 use crate::gate::{Gate, Param};
 use crate::state::StateVector;
@@ -41,8 +42,9 @@ impl Circuit {
     ///
     /// Returns [`QuantumError::UnsupportedRegisterSize`] for 0 or > 24 qubits.
     pub fn new(n_qubits: usize) -> Result<Self> {
-        // Reuse the state validation so limits stay in one place.
-        StateVector::zero_state(n_qubits)?;
+        // Validate the register size once, here; `run`/`run_on` rely on this
+        // and never re-check it.
+        StateVector::validate_register(n_qubits)?;
         Ok(Circuit {
             n_qubits,
             ops: Vec::new(),
@@ -222,23 +224,12 @@ impl Circuit {
         Ok(())
     }
 
-    /// Executes the circuit and returns the final state.
-    ///
-    /// `initial` lets the caller start from an embedded state (amplitude
-    /// embedding); `None` starts from `|0…0⟩`.
-    ///
-    /// # Errors
-    ///
-    /// Returns binding-count errors, a dimension mismatch if `initial` has a
-    /// different width, or gate-application errors.
-    pub fn run(
-        &self,
-        params: &[f64],
-        inputs: &[f64],
-        initial: Option<&StateVector>,
-    ) -> Result<StateVector> {
-        self.check_bindings(params, inputs)?;
-        let mut state = match initial {
+    /// Produces the register execution starts from: a dimension-checked
+    /// clone of `initial`, or `|0…0⟩`. Centralized so every executor (runs,
+    /// parameter shifts, adjoint sweeps) validates embedded states the same
+    /// way and returns the same typed error on a width mismatch.
+    pub(crate) fn start_state<B: Backend>(&self, initial: Option<&B>) -> Result<B> {
+        match initial {
             Some(s) => {
                 if s.n_qubits() != self.n_qubits {
                     return Err(QuantumError::DimensionMismatch {
@@ -246,15 +237,50 @@ impl Circuit {
                         actual: s.dim(),
                     });
                 }
-                s.clone()
+                Ok(s.clone())
             }
-            None => StateVector::zero_state(self.n_qubits)?,
-        };
-        for g in &self.ops {
-            let theta = g.param().map_or(0.0, |p| p.resolve(params, inputs));
-            g.apply(&mut state, theta)?;
+            // The register size was validated at construction; this cannot
+            // fail, but stays a typed error rather than a panic path.
+            None => B::zero_state(self.n_qubits),
         }
+    }
+
+    /// Executes the circuit on a chosen simulator [`Backend`] and returns
+    /// the final register.
+    ///
+    /// `initial` lets the caller start from an embedded state (amplitude
+    /// embedding); `None` starts from `|0…0⟩`. Backends may fuse or
+    /// specialize gate sub-sequences via [`Backend::apply_ops`].
+    ///
+    /// # Errors
+    ///
+    /// Returns binding-count errors, a typed dimension mismatch if `initial`
+    /// has a different width, or gate-application errors.
+    pub fn run_on<B: Backend>(
+        &self,
+        params: &[f64],
+        inputs: &[f64],
+        initial: Option<&B>,
+    ) -> Result<B> {
+        self.check_bindings(params, inputs)?;
+        let mut state = self.start_state(initial)?;
+        state.apply_ops(&self.ops, params, inputs)?;
         Ok(state)
+    }
+
+    /// Executes the circuit on the dense reference backend
+    /// ([`Circuit::run_on`] with `B = StateVector`).
+    ///
+    /// # Errors
+    ///
+    /// See [`Circuit::run_on`].
+    pub fn run(
+        &self,
+        params: &[f64],
+        inputs: &[f64],
+        initial: Option<&StateVector>,
+    ) -> Result<StateVector> {
+        self.run_on(params, inputs, initial)
     }
 
     /// Per-wire `⟨Z⟩` for every wire, the measurement layer of the paper's
@@ -263,7 +289,7 @@ impl Circuit {
     /// # Errors
     ///
     /// Returns an error if `state` has a different register width.
-    pub fn expectations_z_all(&self, state: &StateVector) -> Result<Vec<f64>> {
+    pub fn expectations_z_all<B: Backend>(&self, state: &B) -> Result<Vec<f64>> {
         if state.n_qubits() != self.n_qubits {
             return Err(QuantumError::DimensionMismatch {
                 expected: 1 << self.n_qubits,

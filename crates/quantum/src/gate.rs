@@ -5,9 +5,9 @@
 //! (`Param::Input`) without rebuilding the op list — the same role PennyLane's
 //! QNode plays in the paper's stack.
 
+use crate::backend::Backend;
 use crate::complex::C64;
 use crate::error::{QuantumError, Result};
-use crate::state::StateVector;
 
 /// Where a gate angle comes from when the circuit is executed.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -145,13 +145,33 @@ impl Gate {
         Ok(())
     }
 
+    /// The wire and 2×2 matrix of a purely single-qubit gate (with `theta`
+    /// as the resolved angle), or `None` for multi-qubit gates. Backends use
+    /// this to fuse runs of adjacent single-qubit gates on one wire into a
+    /// single kernel pass.
+    pub fn single_qubit_matrix(&self, theta: f64) -> Option<(usize, [[C64; 2]; 2])> {
+        match *self {
+            Gate::PauliX(w) => Some((w, pauli_x())),
+            Gate::PauliY(w) => Some((w, pauli_y())),
+            Gate::PauliZ(w) => Some((w, pauli_z())),
+            Gate::Hadamard(w) => Some((w, hadamard())),
+            Gate::S(w) => Some((w, s_matrix())),
+            Gate::T(w) => Some((w, t_matrix())),
+            Gate::RX(w, _) => Some((w, rx_matrix(theta))),
+            Gate::RY(w, _) => Some((w, ry_matrix(theta))),
+            Gate::RZ(w, _) => Some((w, rz_matrix(theta))),
+            _ => None,
+        }
+    }
+
     /// Applies the gate to `state` with `theta` as the resolved angle (ignored
-    /// for non-parametrized gates).
+    /// for non-parametrized gates). Generic over the simulator [`Backend`];
+    /// plain [`crate::StateVector`] registers use the dense reference kernels.
     ///
     /// # Errors
     ///
     /// Propagates wire-validation errors from the state kernels.
-    pub fn apply(&self, state: &mut StateVector, theta: f64) -> Result<()> {
+    pub fn apply<B: Backend>(&self, state: &mut B, theta: f64) -> Result<()> {
         match *self {
             Gate::PauliX(w) => state.apply_single_qubit(w, &pauli_x()),
             Gate::PauliY(w) => state.apply_single_qubit(w, &pauli_y()),
@@ -181,7 +201,7 @@ impl Gate {
     /// # Errors
     ///
     /// Propagates wire-validation errors from the state kernels.
-    pub fn apply_inverse(&self, state: &mut StateVector, theta: f64) -> Result<()> {
+    pub fn apply_inverse<B: Backend>(&self, state: &mut B, theta: f64) -> Result<()> {
         match *self {
             // Self-inverse gates.
             Gate::PauliX(_)
@@ -212,7 +232,7 @@ impl Gate {
     ///
     /// Propagates wire-validation errors. Returns `Ok(false)` (leaving the
     /// state untouched) for non-parametrized gates.
-    pub fn apply_generator(&self, state: &mut StateVector) -> Result<bool> {
+    pub fn apply_generator<B: Backend>(&self, state: &mut B) -> Result<bool> {
         match *self {
             Gate::RX(w, _) => {
                 state.apply_single_qubit(w, &pauli_x())?;
@@ -344,6 +364,7 @@ pub fn rz_matrix(theta: f64) -> [[C64; 2]; 2] {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::state::StateVector;
     use std::f64::consts::PI;
 
     fn fresh(n: usize) -> StateVector {

@@ -17,6 +17,7 @@
 //! *upstream-weighted* diagonal yields `dL/dθ` and `dL/dx` directly — the
 //! quantum layer's `backward()`.
 
+use crate::backend::Backend;
 use crate::circuit::Circuit;
 use crate::error::{QuantumError, Result};
 use crate::gate::Param;
@@ -24,21 +25,19 @@ use crate::grad::CircuitGradients;
 use crate::observable::{probability_diagonal, weighted_z_sum_diagonal};
 use crate::state::StateVector;
 
-/// Vector-Jacobian product of `E = ⟨ψ|diag|ψ⟩` with respect to trainable
-/// parameters and embedded inputs.
-///
-/// `initial` is the embedded starting state (`None` = `|0…0⟩`). The returned
-/// gradients accumulate over every gate sharing a parameter index.
+/// [`vjp_diagonal`] generalized over the simulator [`Backend`]: the forward
+/// run, the backward un-application sweep, and the generator inner products
+/// all execute on `B`'s kernels.
 ///
 /// # Errors
 ///
 /// Returns binding-count or dimension errors from circuit execution, and a
 /// dimension error if `diag` does not match the register.
-pub fn vjp_diagonal(
+pub fn vjp_diagonal_on<B: Backend>(
     circuit: &Circuit,
     params: &[f64],
     inputs: &[f64],
-    initial: Option<&StateVector>,
+    initial: Option<&B>,
     diag: &[f64],
 ) -> Result<CircuitGradients> {
     circuit.check_bindings(params, inputs)?;
@@ -51,7 +50,7 @@ pub fn vjp_diagonal(
     }
 
     // Forward pass.
-    let mut ket = circuit.run(params, inputs, initial)?;
+    let mut ket = circuit.run_on(params, inputs, initial)?;
     let mut bra = ket.clone();
     bra.apply_diagonal_real(diag);
 
@@ -80,18 +79,36 @@ pub fn vjp_diagonal(
     Ok(grads)
 }
 
-/// Backward pass for a per-wire `⟨Z⟩` readout: given the upstream gradient
-/// `dL/d⟨Z_w⟩` for every wire `w`, returns `dL/dθ` and `dL/dx`.
+/// Vector-Jacobian product of `E = ⟨ψ|diag|ψ⟩` with respect to trainable
+/// parameters and embedded inputs, on the dense reference backend.
+///
+/// `initial` is the embedded starting state (`None` = `|0…0⟩`). The returned
+/// gradients accumulate over every gate sharing a parameter index.
+///
+/// # Errors
+///
+/// See [`vjp_diagonal_on`].
+pub fn vjp_diagonal(
+    circuit: &Circuit,
+    params: &[f64],
+    inputs: &[f64],
+    initial: Option<&StateVector>,
+    diag: &[f64],
+) -> Result<CircuitGradients> {
+    vjp_diagonal_on(circuit, params, inputs, initial, diag)
+}
+
+/// [`backward_expectations_z`] generalized over the simulator [`Backend`].
 ///
 /// # Errors
 ///
 /// Returns a dimension error if `upstream.len() != n_qubits`, plus execution
 /// errors.
-pub fn backward_expectations_z(
+pub fn backward_expectations_z_on<B: Backend>(
     circuit: &Circuit,
     params: &[f64],
     inputs: &[f64],
-    initial: Option<&StateVector>,
+    initial: Option<&B>,
     upstream: &[f64],
 ) -> Result<CircuitGradients> {
     let n = circuit.n_qubits();
@@ -103,7 +120,40 @@ pub fn backward_expectations_z(
     }
     let wires: Vec<usize> = (0..n).collect();
     let diag = weighted_z_sum_diagonal(n, &wires, upstream)?;
-    vjp_diagonal(circuit, params, inputs, initial, &diag)
+    vjp_diagonal_on(circuit, params, inputs, initial, &diag)
+}
+
+/// Backward pass for a per-wire `⟨Z⟩` readout: given the upstream gradient
+/// `dL/d⟨Z_w⟩` for every wire `w`, returns `dL/dθ` and `dL/dx`.
+///
+/// # Errors
+///
+/// See [`backward_expectations_z_on`].
+pub fn backward_expectations_z(
+    circuit: &Circuit,
+    params: &[f64],
+    inputs: &[f64],
+    initial: Option<&StateVector>,
+    upstream: &[f64],
+) -> Result<CircuitGradients> {
+    backward_expectations_z_on(circuit, params, inputs, initial, upstream)
+}
+
+/// [`backward_probabilities`] generalized over the simulator [`Backend`].
+///
+/// # Errors
+///
+/// Returns a dimension error if `upstream.len() != 2^n_qubits`, plus
+/// execution errors.
+pub fn backward_probabilities_on<B: Backend>(
+    circuit: &Circuit,
+    params: &[f64],
+    inputs: &[f64],
+    initial: Option<&B>,
+    upstream: &[f64],
+) -> Result<CircuitGradients> {
+    let diag = probability_diagonal(circuit.n_qubits(), upstream)?;
+    vjp_diagonal_on(circuit, params, inputs, initial, &diag)
 }
 
 /// Backward pass for a basis-state probability readout: given the upstream
@@ -111,8 +161,7 @@ pub fn backward_expectations_z(
 ///
 /// # Errors
 ///
-/// Returns a dimension error if `upstream.len() != 2^n_qubits`, plus
-/// execution errors.
+/// See [`backward_probabilities_on`].
 pub fn backward_probabilities(
     circuit: &Circuit,
     params: &[f64],
@@ -120,8 +169,7 @@ pub fn backward_probabilities(
     initial: Option<&StateVector>,
     upstream: &[f64],
 ) -> Result<CircuitGradients> {
-    let diag = probability_diagonal(circuit.n_qubits(), upstream)?;
-    vjp_diagonal(circuit, params, inputs, initial, &diag)
+    backward_probabilities_on(circuit, params, inputs, initial, upstream)
 }
 
 #[cfg(test)]

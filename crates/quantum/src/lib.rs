@@ -10,6 +10,10 @@
 //!
 //! * [`StateVector`] — dense `2^n`-amplitude register with single-qubit,
 //!   controlled, and diagonal kernels plus `⟨Z⟩`/probability measurements.
+//! * [`backend`] — the simulator [`Backend`] trait behind every executor:
+//!   [`DenseBackend`] (the reference semantics) and [`FusedDenseBackend`]
+//!   (gate fusion + half-space controlled kernels); the seam future
+//!   GPU/sparse/tensor-network backends plug into.
 //! * [`Circuit`] — a gate list with deferred [`Param`] binding (trainable
 //!   parameters vs. embedded input features).
 //! * [`embed`] — amplitude and angle embeddings (§II-C of the paper).
@@ -51,12 +55,14 @@ mod error;
 mod gate;
 mod state;
 
+pub mod backend;
 pub mod embed;
 pub mod grad;
 pub mod noise;
 pub mod observable;
 pub mod templates;
 
+pub use backend::{Backend, DenseBackend, FusedDenseBackend};
 pub use circuit::Circuit;
 pub use complex::C64;
 pub use error::{QuantumError, Result};

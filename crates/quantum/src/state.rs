@@ -36,12 +36,33 @@ impl StateVector {
     /// Returns [`QuantumError::UnsupportedRegisterSize`] when `n_qubits` is 0
     /// or exceeds [`MAX_QUBITS`].
     pub fn zero_state(n_qubits: usize) -> Result<Self> {
-        if n_qubits == 0 || n_qubits > MAX_QUBITS {
-            return Err(QuantumError::UnsupportedRegisterSize { n_qubits });
-        }
+        Self::validate_register(n_qubits)?;
         let mut amps = vec![C64::ZERO; 1 << n_qubits];
         amps[0] = C64::ONE;
         Ok(StateVector { n_qubits, amps })
+    }
+
+    /// Checks a register size against the simulator's supported range without
+    /// allocating any amplitudes (used by [`crate::Circuit::new`] so circuits
+    /// validate once at construction instead of on every run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::UnsupportedRegisterSize`] when `n_qubits` is 0
+    /// or exceeds [`MAX_QUBITS`].
+    pub fn validate_register(n_qubits: usize) -> Result<()> {
+        if n_qubits == 0 || n_qubits > MAX_QUBITS {
+            return Err(QuantumError::UnsupportedRegisterSize { n_qubits });
+        }
+        Ok(())
+    }
+
+    /// Resets the register to `|0…0⟩` in place (no reallocation).
+    pub fn reset(&mut self) {
+        for a in &mut self.amps {
+            *a = C64::ZERO;
+        }
+        self.amps[0] = C64::ONE;
     }
 
     /// Creates a state from raw amplitudes, normalizing them.
@@ -81,6 +102,14 @@ impl StateVector {
     #[inline]
     pub fn amplitudes(&self) -> &[C64] {
         &self.amps
+    }
+
+    /// Mutable access to the raw amplitude storage, for the optimized
+    /// kernels of [`crate::backend::FusedDenseBackend`]. Crate-internal:
+    /// callers must preserve the length invariant (`2^n_qubits`).
+    #[inline]
+    pub(crate) fn amps_mut(&mut self) -> &mut Vec<C64> {
+        &mut self.amps
     }
 
     /// The amplitude of basis state `index`.
@@ -325,21 +354,34 @@ impl StateVector {
     /// Draws `shots` computational-basis measurement outcomes from the
     /// state's probability distribution (inverse-CDF sampling).
     ///
+    /// The cumulative distribution is precomputed once and each draw is a
+    /// binary search, so sampling costs `O(dim + shots·log dim)` instead of
+    /// the naive `O(shots·dim)` linear scan. The RNG stream consumption is
+    /// identical to the scan (one uniform draw per shot), so the sampler is
+    /// fully deterministic per seed. Outcomes match the scan except for
+    /// draws landing inside the floating-point rounding gap of a bin
+    /// boundary (the scan subtracts probabilities sequentially, the CDF
+    /// accumulates them — a measure-≈0 event; the seed tests pin agreement
+    /// on reference states).
+    ///
     /// This models the finite-shot readout of real hardware; the rest of
     /// the reproduction uses exact expectations, as the paper's simulator
     /// does.
     pub fn sample_measurements(&self, shots: usize, rng: &mut impl rand::Rng) -> Vec<usize> {
-        let probs = self.probabilities();
+        let mut cdf = Vec::with_capacity(self.dim());
+        let mut acc = 0.0;
+        for a in &self.amps {
+            acc += a.norm_sqr();
+            cdf.push(acc);
+        }
+        let last = self.dim() - 1;
         (0..shots)
             .map(|_| {
-                let mut u: f64 = rng.gen_range(0.0..1.0);
-                for (i, &p) in probs.iter().enumerate() {
-                    if u < p {
-                        return i;
-                    }
-                    u -= p;
-                }
-                probs.len() - 1 // numerical remainder lands on the last state
+                let u: f64 = rng.gen_range(0.0..1.0);
+                // First index with u < cdf[i]; a numerical remainder beyond
+                // the final cumulative sum lands on the last state, exactly
+                // as the linear scan's fallback did.
+                cdf.partition_point(|&c| c <= u).min(last)
             })
             .collect()
     }

@@ -1,0 +1,109 @@
+//! Backend × thread-count invariance of the training pipeline.
+//!
+//! For a **fixed** simulator backend, training must be bit-identical across
+//! every `SQVAE_THREADS` setting (extending `tests/parallel_determinism.rs`
+//! to the fused backend and the parallel patch bank). **Across** backends,
+//! fused kernels reorder floating-point arithmetic, so runs agree to high
+//! precision rather than bit-for-bit; short trainings stay within tight
+//! tolerances.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqvae_core::{models, Autoencoder, BackendKind, ParamGroup, Threads, TrainConfig, Trainer};
+use sqvae_datasets::Dataset;
+
+fn toy_dataset(n: usize, width: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Dataset::from_samples(
+        (0..n)
+            .map(|_| (0..width).map(|_| rng.gen_range(0.0..2.0)).collect())
+            .collect(),
+    )
+    .expect("non-empty")
+}
+
+/// Trains a small model and returns (per-epoch train MSEs, final parameter
+/// values of both groups).
+fn train_with(
+    make: fn(&mut StdRng) -> Autoencoder,
+    backend: BackendKind,
+    threads: Threads,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut model = make(&mut rng);
+    let data = toy_dataset(10, 16, 12);
+    let mut trainer = Trainer::new(TrainConfig {
+        epochs: 2,
+        batch_size: 4,
+        threads,
+        backend,
+        ..TrainConfig::default()
+    });
+    let history = trainer.train(&mut model, &data, None).unwrap();
+    let params: Vec<f64> = [ParamGroup::Quantum, ParamGroup::Classical]
+        .into_iter()
+        .flat_map(|g| {
+            model
+                .parameters_of(g)
+                .iter()
+                .flat_map(|p| p.value.as_slice().to_vec())
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    (history.train_mse_series(), params)
+}
+
+fn assert_backend_thread_matrix(make: fn(&mut StdRng) -> Autoencoder) {
+    for backend in [BackendKind::Dense, BackendKind::Fused] {
+        let baseline = train_with(make, backend, Threads::Off);
+        assert_eq!(baseline.0.len(), 2);
+        assert!(baseline.1.iter().all(|v| v.is_finite()));
+        // Fixed backend: every thread policy reproduces the sequential run
+        // bit for bit.
+        for threads in [Threads::Fixed(1), Threads::Fixed(4), Threads::Auto] {
+            let run = train_with(make, backend, threads);
+            assert_eq!(
+                run, baseline,
+                "{backend:?} × {threads:?} diverged from its sequential run"
+            );
+        }
+    }
+    // Across backends: same physics, reordered arithmetic. Two short epochs
+    // keep the drift many orders below anything training-relevant.
+    let dense = train_with(make, BackendKind::Dense, Threads::Off);
+    let fused = train_with(make, BackendKind::Fused, Threads::Off);
+    for (a, b) in dense.0.iter().zip(&fused.0) {
+        assert!((a - b).abs() < 1e-9, "epoch MSE {a} vs {b}");
+    }
+    for (a, b) in dense.1.iter().zip(&fused.1) {
+        assert!((a - b).abs() < 1e-9, "final param {a} vs {b}");
+    }
+}
+
+#[test]
+fn hybrid_model_is_invariant_across_the_backend_thread_matrix() {
+    assert_backend_thread_matrix(|rng| models::h_bq_ae(16, 1, rng));
+}
+
+#[test]
+fn patched_model_is_invariant_across_the_backend_thread_matrix() {
+    // Also exercises the parallel patch bank: patches × rows are sharded
+    // through one flattened work list.
+    assert_backend_thread_matrix(|rng| models::sq_ae(16, 2, 1, rng));
+}
+
+#[test]
+fn evaluation_is_backend_consistent() {
+    let data = toy_dataset(8, 16, 31);
+    let evaluate = |backend: BackendKind| {
+        let mut rng = StdRng::seed_from_u64(30);
+        let mut model = models::sq_vae(16, 2, 1, &mut rng);
+        model.set_backend(backend);
+        model.set_threads(Threads::Fixed(3));
+        Trainer::evaluate_batched(&mut model, &data, 4).unwrap()
+    };
+    let dense = evaluate(BackendKind::Dense);
+    let fused = evaluate(BackendKind::Fused);
+    assert!(dense.is_finite());
+    assert!((dense - fused).abs() < 1e-10, "{dense} vs {fused}");
+}
