@@ -1,0 +1,118 @@
+//! Batch-compiled tape executor vs the PR 4 eager fused path (PR 6
+//! tentpole). Within a mini-batch all rows share one parameter vector, so
+//! the tape compiles the circuit once — fusing commuting single-qubit
+//! gates, flattening CNOT runs, and pre-inverting the adjoint sweep — and
+//! every row replays the flat program. The groups below measure the batched
+//! adjoint (the training hot path; the ≥1.3× acceptance target), the
+//! batched forward, and the one-off compile cost that buys both.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqvae_quantum::grad::adjoint;
+use sqvae_quantum::templates::{strongly_entangling_layers, EntangleRange};
+use sqvae_quantum::{Backend, Circuit, FusedDenseBackend};
+
+fn circuit(n_qubits: usize, layers: usize) -> (Circuit, Vec<f64>, Vec<f64>) {
+    let mut c = Circuit::new(n_qubits).expect("valid register");
+    c.extend(strongly_entangling_layers(n_qubits, layers, 0, EntangleRange::Ring).unwrap())
+        .unwrap();
+    let params: Vec<f64> = (0..c.n_params()).map(|i| 0.1 + 0.01 * i as f64).collect();
+    let upstream = vec![1.0; n_qubits];
+    (c, params, upstream)
+}
+
+/// Eager gate-by-gate forward on the fused backend — the PR 4 baseline the
+/// tape replaces (`Circuit::run_on` itself now compiles, so the baseline
+/// drives `apply_ops` directly).
+fn eager_forward(circ: &Circuit, params: &[f64]) -> Vec<f64> {
+    let mut state = FusedDenseBackend::zero_state(circ.n_qubits()).unwrap();
+    state.apply_ops(circ.ops(), params, &[]).unwrap();
+    (0..circ.n_qubits())
+        .map(|w| state.expectation_z(w).unwrap())
+        .collect()
+}
+
+/// Batch of 32 adjoint passes on 6 qubits × 3 layers — the quantum layers'
+/// backward hot path. `eager_x32` re-walks the gate list per row (PR 4);
+/// `tape_x32` compiles once then replays, compile cost included.
+fn bench_batched_adjoint(c: &mut Criterion) {
+    let (circ, params, upstream) = circuit(6, 3);
+    let rows = 32usize;
+    let mut group = c.benchmark_group("compiled_tape");
+    group.bench_function(format!("adjoint_eager_x{rows}"), |b| {
+        b.iter(|| {
+            (0..rows)
+                .map(|_| {
+                    adjoint::backward_expectations_z_on::<FusedDenseBackend>(
+                        &circ,
+                        &params,
+                        &[],
+                        None,
+                        &upstream,
+                    )
+                    .unwrap()
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function(format!("adjoint_tape_x{rows}"), |b| {
+        b.iter(|| {
+            let tape = circ.compile(&params).unwrap();
+            (0..rows)
+                .map(|_| {
+                    adjoint::backward_expectations_z_tape::<FusedDenseBackend>(
+                        &tape,
+                        &[],
+                        None,
+                        &upstream,
+                    )
+                    .unwrap()
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
+/// The same split on the batched forward pass.
+fn bench_batched_forward(c: &mut Criterion) {
+    let (circ, params, _) = circuit(6, 3);
+    let rows = 32usize;
+    let mut group = c.benchmark_group("compiled_tape");
+    group.bench_function(format!("forward_eager_x{rows}"), |b| {
+        b.iter(|| {
+            (0..rows)
+                .map(|_| eager_forward(&circ, &params))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function(format!("forward_tape_x{rows}"), |b| {
+        b.iter(|| {
+            let tape = circ.compile(&params).unwrap();
+            (0..rows)
+                .map(|_| {
+                    tape.expectations_z_on::<FusedDenseBackend>(&[], None)
+                        .unwrap()
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
+/// The one-off lowering cost a batch pays before its first row.
+fn bench_compile(c: &mut Criterion) {
+    let (circ, params, _) = circuit(6, 3);
+    let mut group = c.benchmark_group("compiled_tape");
+    group.bench_function("compile_6q3l", |b| {
+        b.iter(|| circ.compile(&params).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_batched_adjoint,
+    bench_batched_forward,
+    bench_compile
+);
+criterion_main!(benches);

@@ -19,7 +19,7 @@
 //! runs. Results print as aligned text tables; EXPERIMENTS.md records the
 //! measured numbers next to the paper's.
 
-use sqvae_nn::{BackendKind, Matrix, Threads};
+use sqvae_nn::{BackendKind, ExecPolicy, Matrix, Threads};
 
 /// Scale of an experiment run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,6 +100,13 @@ impl ExpArgs {
             }
         }
         out
+    }
+
+    /// The unified execution policy the `--threads` / `--backend` flags
+    /// select, ready to hand to `TrainConfig` or
+    /// `Module::set_exec_policy`.
+    pub fn exec_policy(&self) -> ExecPolicy {
+        ExecPolicy::new(self.threads, self.backend)
     }
 
     /// Picks `quick` or `full` by scale.
@@ -272,6 +279,14 @@ mod tests {
         // Bad specs keep the default rather than aborting an experiment.
         let default = ExpArgs::default().backend;
         assert_eq!(args(&["--backend", "quantum"]).backend, default);
+    }
+
+    #[test]
+    fn exec_policy_bundles_both_flags() {
+        let a = args(&["--threads", "2", "--backend", "fused"]);
+        let policy = a.exec_policy();
+        assert_eq!(policy.threads, Threads::Fixed(2));
+        assert_eq!(policy.backend, BackendKind::Fused);
     }
 
     #[test]

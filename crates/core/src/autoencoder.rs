@@ -200,20 +200,35 @@ impl Autoencoder {
         v
     }
 
+    /// Sets the unified execution policy — batch-row parallelism and
+    /// simulator backend — on every quantum stage (classical stages and
+    /// latent heads ignore it). The trainer calls this with its configured
+    /// [`sqvae_nn::ExecPolicy`] before each run.
+    pub fn set_exec_policy(&mut self, policy: sqvae_nn::ExecPolicy) {
+        self.encoder.set_exec_policy(policy);
+        self.decoder.set_exec_policy(policy);
+    }
+
     /// Sets the batch-row parallelism policy on every quantum stage
-    /// (classical stages and latent heads ignore it). The trainer calls this
-    /// with its configured [`sqvae_nn::Threads`] before each run.
+    /// (classical stages and latent heads ignore it).
+    #[deprecated(note = "use `Autoencoder::set_exec_policy` with an `ExecPolicy`")]
     pub fn set_threads(&mut self, threads: sqvae_nn::Threads) {
-        self.encoder.set_threads(threads);
-        self.decoder.set_threads(threads);
+        #[allow(deprecated)]
+        {
+            Module::set_threads(&mut self.encoder, threads);
+            Module::set_threads(&mut self.decoder, threads);
+        }
     }
 
     /// Sets the simulator backend on every quantum stage (classical stages
-    /// and latent heads ignore it). The trainer calls this with its
-    /// configured [`sqvae_nn::BackendKind`] before each run.
+    /// and latent heads ignore it).
+    #[deprecated(note = "use `Autoencoder::set_exec_policy` with an `ExecPolicy`")]
     pub fn set_backend(&mut self, backend: sqvae_nn::BackendKind) {
-        self.encoder.set_backend(backend);
-        self.decoder.set_backend(backend);
+        #[allow(deprecated)]
+        {
+            Module::set_backend(&mut self.encoder, backend);
+            Module::set_backend(&mut self.decoder, backend);
+        }
     }
 
     /// Zeroes every gradient.

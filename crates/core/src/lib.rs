@@ -58,6 +58,7 @@ pub use patched::{patched_latent_dim, PatchedQuantumLayer};
 pub use quantum_layer::{QuantumInput, QuantumLayer, QuantumOutput};
 pub use trainer::{EpochRecord, History, TrainConfig, Trainer};
 
-// Re-exported so downstream users can set `TrainConfig::threads` without
-// depending on `sqvae-nn` directly.
-pub use sqvae_nn::{BackendKind, Threads};
+// Re-exported so downstream users can set `TrainConfig::threads` /
+// `TrainConfig::backend` or build an execution policy without depending on
+// `sqvae-nn` directly.
+pub use sqvae_nn::{BackendKind, ExecPolicy, Threads};

@@ -10,7 +10,8 @@
 
 use crate::quantum_layer::{QuantumInput, QuantumLayer, QuantumOutput};
 use rand::Rng;
-use sqvae_nn::{parallel, BackendKind, Matrix, Module, NnError, ParamTensor, Threads};
+use sqvae_nn::{parallel, BackendKind, ExecPolicy, Matrix, Module, NnError, ParamTensor, Threads};
+use sqvae_quantum::CompiledTape;
 
 /// Latent space dimension of a patched encoder over `input_dim` features
 /// with `p` patches: `p · log2(input_dim / p)`.
@@ -149,19 +150,32 @@ impl PatchedQuantumLayer {
         self.out_per_patch * self.patches.len()
     }
 
-    /// Builder-style variant of [`Module::set_threads`].
+    /// Builder-style setter for the threads knob of the execution policy.
     pub fn with_threads(mut self, threads: Threads) -> Self {
-        self.set_threads(threads);
+        self.threads = threads;
         self
+    }
+
+    /// Lowers every patch's circuit once for a batch pass. Patch circuits
+    /// are structurally identical but carry independent trainable angles,
+    /// so each patch gets its own tape; all of them are shared immutably
+    /// across the flattened patch × row worker pool.
+    fn compile_tapes(&self) -> Vec<CompiledTape> {
+        self.patches
+            .iter()
+            .map(QuantumLayer::compile_tape)
+            .collect()
     }
 }
 
 impl Module for PatchedQuantumLayer {
-    /// Forward pass: every `(patch, row)` pair is an independent simulation,
-    /// so the bank flattens the whole patch × batch grid into one work list
-    /// and shards it across threads with [`parallel::map_rows`] — a single
-    /// pool over both axes, no nesting. Results land in fixed `(patch, row)`
-    /// slots, so parallel execution is bit-identical to sequential.
+    /// Forward pass: each patch circuit is compiled once into a
+    /// [`CompiledTape`], then every `(patch, row)` pair is an independent
+    /// replay of its patch's tape, so the bank flattens the whole
+    /// patch × batch grid into one work list and shards it across threads
+    /// with [`parallel::map_rows`] — a single pool over both axes, no
+    /// nesting. Results land in fixed `(patch, row)` slots, so parallel
+    /// execution is bit-identical to sequential.
     fn forward(&mut self, input: &Matrix) -> Result<Matrix, NnError> {
         if input.cols() != self.in_features() {
             return Err(NnError::ShapeMismatch {
@@ -174,10 +188,11 @@ impl Module for PatchedQuantumLayer {
         let slices: Vec<Matrix> = (0..p)
             .map(|k| input.columns(k * self.in_per_patch, (k + 1) * self.in_per_patch))
             .collect::<Result<_, _>>()?;
+        let tapes = self.compile_tapes();
         let patches = &self.patches;
         let results = parallel::map_rows(p * rows, self.threads, |idx| {
             let (k, r) = (idx / rows, idx % rows);
-            patches[k].forward_row(slices[k].row(r))
+            patches[k].forward_row_tape(&tapes[k], slices[k].row(r))
         });
         let mut out = Matrix::zeros(rows, self.out_features());
         for k in 0..p {
@@ -210,10 +225,11 @@ impl Module for PatchedQuantumLayer {
         let grad_slices: Vec<Matrix> = (0..p)
             .map(|k| grad_output.columns(k * self.out_per_patch, (k + 1) * self.out_per_patch))
             .collect::<Result<_, _>>()?;
+        let tapes = self.compile_tapes();
         let patches = &self.patches;
         let per = parallel::map_rows(p * rows, self.threads, |idx| {
             let (k, r) = (idx / rows, idx % rows);
-            patches[k].backward_row(slices[k].row(r), grad_slices[k].row(r))
+            patches[k].backward_row_tape(&tapes[k], slices[k].row(r), grad_slices[k].row(r))
         });
         let mut grad_input = Matrix::zeros(rows, self.in_features());
         for (k, patch) in self.patches.iter_mut().enumerate() {
@@ -239,13 +255,23 @@ impl Module for PatchedQuantumLayer {
             .collect()
     }
 
-    fn set_threads(&mut self, threads: Threads) {
+    fn set_exec_policy(&mut self, policy: ExecPolicy) {
         // The bank shards the flattened patch × row grid itself; patches
         // run their own rows inline (a row reaching a patch here is exactly
-        // one work item), so no nested pools ever form.
+        // one work item), so no nested pools ever form. The backend knob is
+        // forwarded so every patch's tape replays on the same simulator.
+        self.threads = policy.threads;
+        for patch in &mut self.patches {
+            patch.set_exec_policy(policy);
+        }
+    }
+
+    #[allow(deprecated)]
+    fn set_threads(&mut self, threads: Threads) {
         self.threads = threads;
     }
 
+    #[allow(deprecated)]
     fn set_backend(&mut self, backend: BackendKind) {
         for patch in &mut self.patches {
             patch.set_backend(backend);

@@ -2,31 +2,37 @@
 //!
 //! The layer implements [`Module`], so classical and quantum stages
 //! backpropagate through each other exactly as the paper's hybrid
-//! architecture requires. Forward runs the statevector simulator per batch
-//! row; backward runs one adjoint pass per row against the upstream-weighted
-//! diagonal observable.
+//! architecture requires. Each pass first **compiles the circuit once per
+//! batch** into a [`CompiledTape`] — parameters bound, commuting
+//! single-qubit gates pre-fused, CNOT runs flattened, the adjoint sweep
+//! pre-inverted — and every batch row then replays that tape, so the
+//! per-gate lowering work is paid once instead of once per row. Forward
+//! executes the tape per row; backward runs one tape adjoint pass per row
+//! against the upstream-weighted diagonal observable.
 //!
 //! Batch rows are independent simulations, so both passes shard rows across
-//! OS threads according to the layer's [`Threads`] policy (default
-//! [`Threads::Off`]; the trainer propagates its configured policy). Per-row
-//! results land in preallocated row slots and gradients accumulate in fixed
-//! row order, so the parallel path is bit-identical to the sequential one.
+//! OS threads according to the layer's [`ExecPolicy`] threads knob (default
+//! [`Threads::Off`]; the trainer propagates its configured policy). The
+//! shared tape is immutable and crosses shard boundaries by reference.
+//! Per-row results land in preallocated row slots and gradients accumulate
+//! in fixed row order, so the parallel path is bit-identical to the
+//! sequential one.
 //!
-//! Which simulator executes the circuit is a second policy,
+//! Which simulator executes the tape is the policy's second knob,
 //! [`BackendKind`]: every row dispatches onto the dense reference register
 //! or the fused-kernel backend (`SQVAE_BACKEND`, `TrainConfig::backend`,
-//! [`Module::set_backend`]); backends agree to ≤ 1e-12.
+//! [`sqvae_nn::ExecPolicy`]); backends agree to ≤ 1e-12.
 
 use rand::Rng;
 use sqvae_nn::parallel::{self, Threads};
-use sqvae_nn::{init, BackendKind, Matrix, Module, NnError, ParamTensor};
+use sqvae_nn::{init, BackendKind, ExecPolicy, Matrix, Module, NnError, ParamTensor};
 use sqvae_quantum::embed::{
     amplitude_embedding, angle_embedding_gates, qubits_for_features, RotationAxis,
 };
 use sqvae_quantum::grad::adjoint;
 use sqvae_quantum::grad::CircuitGradients;
 use sqvae_quantum::templates::{strongly_entangling_layers, EntangleRange};
-use sqvae_quantum::{Backend, Circuit, FusedDenseBackend, StateVector};
+use sqvae_quantum::{Backend, Circuit, CompiledTape, FusedDenseBackend, StateVector};
 
 /// How classical data enters the circuit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,8 +85,7 @@ pub struct QuantumLayer {
     output_mode: QuantumOutput,
     params: ParamTensor,
     cached_input: Option<Matrix>,
-    threads: Threads,
-    backend: BackendKind,
+    exec: ExecPolicy,
 }
 
 impl QuantumLayer {
@@ -126,31 +131,41 @@ impl QuantumLayer {
             output_mode,
             params,
             cached_input: None,
-            threads: Threads::Off,
-            backend: BackendKind::default(),
+            exec: ExecPolicy::default(),
         }
     }
 
-    /// Builder-style variant of [`Module::set_threads`].
+    /// Builder-style variant of [`Module::set_exec_policy`].
+    pub fn with_exec_policy(mut self, policy: ExecPolicy) -> Self {
+        self.exec = policy;
+        self
+    }
+
+    /// The unified execution policy (threads + backend) in effect.
+    pub fn exec_policy(&self) -> ExecPolicy {
+        self.exec
+    }
+
+    /// Builder-style setter for the threads knob of the execution policy.
     pub fn with_threads(mut self, threads: Threads) -> Self {
-        self.threads = threads;
+        self.exec.threads = threads;
         self
     }
 
     /// The current batch-row parallelism policy.
     pub fn threads(&self) -> Threads {
-        self.threads
+        self.exec.threads
     }
 
-    /// Builder-style variant of [`Module::set_backend`].
+    /// Builder-style setter for the backend knob of the execution policy.
     pub fn with_backend(mut self, backend: BackendKind) -> Self {
-        self.backend = backend;
+        self.exec.backend = backend;
         self
     }
 
     /// The simulator backend this layer's circuit executes on.
     pub fn backend(&self) -> BackendKind {
-        self.backend
+        self.exec.backend
     }
 
     /// Number of wires.
@@ -204,86 +219,80 @@ impl QuantumLayer {
         }
     }
 
-    /// One batch row's forward simulation, on the configured backend.
-    /// Crate-internal so [`crate::PatchedQuantumLayer`] can drive patch rows
-    /// through its own work-sharding without borrowing the layer mutably.
-    pub(crate) fn forward_row(&self, row: &[f64]) -> Vec<f64> {
-        match self.backend {
-            BackendKind::Dense => self.forward_row_on::<StateVector>(row),
-            BackendKind::Fused => self.forward_row_on::<FusedDenseBackend>(row),
+    /// Lowers the circuit with the **current** trainable angles into a
+    /// [`CompiledTape`]. Called once per batch pass; every row then replays
+    /// the shared tape. Crate-internal so [`crate::PatchedQuantumLayer`] can
+    /// compile one tape per patch and drive the patch × row grid through its
+    /// own work-sharding without borrowing the layer mutably.
+    pub(crate) fn compile_tape(&self) -> CompiledTape {
+        self.circuit
+            .compile(self.params.value.as_slice())
+            .expect("validated circuit")
+    }
+
+    /// One batch row's forward simulation: replays `tape` on the configured
+    /// backend (crate-internal for the same reason as
+    /// [`Self::compile_tape`]).
+    pub(crate) fn forward_row_tape(&self, tape: &CompiledTape, row: &[f64]) -> Vec<f64> {
+        match self.exec.backend {
+            BackendKind::Dense => self.forward_row_tape_on::<StateVector>(tape, row),
+            BackendKind::Fused => self.forward_row_tape_on::<FusedDenseBackend>(tape, row),
         }
     }
 
-    fn forward_row_on<B: Backend>(&self, row: &[f64]) -> Vec<f64> {
-        let theta = self.params.value.as_slice();
-        let state: B = match self.input_mode {
+    fn forward_row_tape_on<B: Backend>(&self, tape: &CompiledTape, row: &[f64]) -> Vec<f64> {
+        let (inputs, initial): (&[f64], Option<B>) = match self.input_mode {
             QuantumInput::Amplitude { .. } => {
-                let init = B::from_statevector(self.embedded_initial(row));
-                self.circuit
-                    .run_on(theta, &[], Some(&init))
-                    .expect("validated circuit")
+                (&[], Some(B::from_statevector(self.embedded_initial(row))))
             }
-            QuantumInput::Angle => self
-                .circuit
-                .run_on(theta, row, None::<&B>)
-                .expect("validated circuit"),
+            QuantumInput::Angle => (row, None),
         };
         match self.output_mode {
-            QuantumOutput::ExpectationZ => self
-                .circuit
-                .expectations_z_all(&state)
-                .expect("same register"),
-            QuantumOutput::Probabilities => state.probabilities(),
+            QuantumOutput::ExpectationZ => tape
+                .expectations_z_on(inputs, initial.as_ref())
+                .expect("validated circuit"),
+            QuantumOutput::Probabilities => tape
+                .probabilities_on(inputs, initial.as_ref())
+                .expect("validated circuit"),
         }
     }
 
-    /// One batch row's adjoint backward pass, on the configured backend
-    /// (crate-internal for the same reason as [`Self::forward_row`]).
-    pub(crate) fn backward_row(&self, row: &[f64], upstream: &[f64]) -> CircuitGradients {
-        match self.backend {
-            BackendKind::Dense => self.backward_row_on::<StateVector>(row, upstream),
-            BackendKind::Fused => self.backward_row_on::<FusedDenseBackend>(row, upstream),
-        }
-    }
-
-    fn backward_row_on<B: Backend>(&self, row: &[f64], upstream: &[f64]) -> CircuitGradients {
-        let theta = self.params.value.as_slice();
-        match self.input_mode {
-            QuantumInput::Amplitude { .. } => {
-                let init = B::from_statevector(self.embedded_initial(row));
-                match self.output_mode {
-                    QuantumOutput::ExpectationZ => adjoint::backward_expectations_z_on(
-                        &self.circuit,
-                        theta,
-                        &[],
-                        Some(&init),
-                        upstream,
-                    ),
-                    QuantumOutput::Probabilities => adjoint::backward_probabilities_on(
-                        &self.circuit,
-                        theta,
-                        &[],
-                        Some(&init),
-                        upstream,
-                    ),
-                }
+    /// One batch row's adjoint backward pass over `tape`, on the configured
+    /// backend (crate-internal for the same reason as
+    /// [`Self::compile_tape`]).
+    pub(crate) fn backward_row_tape(
+        &self,
+        tape: &CompiledTape,
+        row: &[f64],
+        upstream: &[f64],
+    ) -> CircuitGradients {
+        match self.exec.backend {
+            BackendKind::Dense => self.backward_row_tape_on::<StateVector>(tape, row, upstream),
+            BackendKind::Fused => {
+                self.backward_row_tape_on::<FusedDenseBackend>(tape, row, upstream)
             }
-            QuantumInput::Angle => match self.output_mode {
-                QuantumOutput::ExpectationZ => adjoint::backward_expectations_z_on(
-                    &self.circuit,
-                    theta,
-                    row,
-                    None::<&B>,
-                    upstream,
-                ),
-                QuantumOutput::Probabilities => adjoint::backward_probabilities_on(
-                    &self.circuit,
-                    theta,
-                    row,
-                    None::<&B>,
-                    upstream,
-                ),
-            },
+        }
+    }
+
+    fn backward_row_tape_on<B: Backend>(
+        &self,
+        tape: &CompiledTape,
+        row: &[f64],
+        upstream: &[f64],
+    ) -> CircuitGradients {
+        let (inputs, initial): (&[f64], Option<B>) = match self.input_mode {
+            QuantumInput::Amplitude { .. } => {
+                (&[], Some(B::from_statevector(self.embedded_initial(row))))
+            }
+            QuantumInput::Angle => (row, None),
+        };
+        match self.output_mode {
+            QuantumOutput::ExpectationZ => {
+                adjoint::backward_expectations_z_tape(tape, inputs, initial.as_ref(), upstream)
+            }
+            QuantumOutput::Probabilities => {
+                adjoint::backward_probabilities_tape(tape, inputs, initial.as_ref(), upstream)
+            }
         }
         .expect("validated circuit")
     }
@@ -301,8 +310,11 @@ impl QuantumLayer {
 impl Module for QuantumLayer {
     fn forward(&mut self, input: &Matrix) -> Result<Matrix, NnError> {
         self.check_width(input)?;
-        let rows = parallel::map_rows(input.rows(), self.threads, |r| {
-            self.forward_row(input.row(r))
+        // Lower the circuit once for the whole batch; every row (and every
+        // worker thread) replays the same immutable tape by reference.
+        let tape = self.compile_tape();
+        let rows = parallel::map_rows(input.rows(), self.exec.threads, |r| {
+            self.forward_row_tape(&tape, input.row(r))
         });
         let mut out = Matrix::zeros(input.rows(), self.out_features());
         for (r, y) in rows.into_iter().enumerate() {
@@ -323,8 +335,12 @@ impl Module for QuantumLayer {
                 actual: grad_output.shape(),
             });
         }
-        let per_row = parallel::map_rows(input.rows(), self.threads, |r| {
-            self.backward_row(input.row(r), grad_output.row(r))
+        // Recompiled here rather than cached from `forward`: the optimizer
+        // may have stepped the angles in between, and compilation is cheap
+        // relative to even one row's simulation.
+        let tape = self.compile_tape();
+        let per_row = parallel::map_rows(input.rows(), self.exec.threads, |r| {
+            self.backward_row_tape(&tape, input.row(r), grad_output.row(r))
         });
         // Accumulate in fixed row order so parallel runs reproduce the
         // sequential floating-point sums bit for bit.
@@ -344,12 +360,18 @@ impl Module for QuantumLayer {
         vec![&mut self.params]
     }
 
-    fn set_threads(&mut self, threads: Threads) {
-        self.threads = threads;
+    fn set_exec_policy(&mut self, policy: ExecPolicy) {
+        self.exec = policy;
     }
 
+    #[allow(deprecated)]
+    fn set_threads(&mut self, threads: Threads) {
+        self.exec.threads = threads;
+    }
+
+    #[allow(deprecated)]
     fn set_backend(&mut self, backend: BackendKind) {
-        self.backend = backend;
+        self.exec.backend = backend;
     }
 }
 

@@ -10,7 +10,7 @@ use crate::hybrid::ParamGroup;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sqvae_datasets::Dataset;
-use sqvae_nn::{loss, Adam, BackendKind, Matrix, NnError, Optimizer, Threads};
+use sqvae_nn::{loss, Adam, BackendKind, ExecPolicy, Matrix, NnError, Optimizer, Threads};
 
 /// Training hyper-parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,6 +78,14 @@ impl TrainConfig {
             classical_lr: lr,
             ..TrainConfig::default()
         }
+    }
+
+    /// The unified execution policy the trainer installs on the model
+    /// before each run — the [`TrainConfig::threads`] and
+    /// [`TrainConfig::backend`] knobs bundled into one
+    /// [`sqvae_nn::ExecPolicy`] value.
+    pub fn exec_policy(&self) -> ExecPolicy {
+        ExecPolicy::new(self.threads, self.backend)
     }
 }
 
@@ -230,8 +238,7 @@ impl Trainer {
             model: model.name.clone(),
             records: Vec::with_capacity(self.config.epochs),
         };
-        model.set_threads(self.config.threads);
-        model.set_backend(self.config.backend);
+        model.set_exec_policy(self.config.exec_policy());
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut best_test = f64::INFINITY;
         let mut stale_epochs = 0usize;

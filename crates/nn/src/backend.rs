@@ -37,12 +37,27 @@ impl BackendKind {
     /// Reads the policy from the `SQVAE_BACKEND` environment variable:
     /// unset, empty, or `dense` → [`BackendKind::Dense`]; `fused` →
     /// [`BackendKind::Fused`]. Unparseable values fall back to the default
-    /// (dense) rather than aborting a run.
+    /// (dense) after a one-time stderr warning (see
+    /// [`BackendKind::from_env_spec`]).
     pub fn from_env() -> Self {
         match std::env::var(BACKEND_ENV_VAR) {
-            Ok(v) => v.parse().unwrap_or_default(),
+            Ok(v) => Self::from_env_spec(&v),
             Err(_) => BackendKind::default(),
         }
+    }
+
+    /// Parses an environment-supplied spec, falling back to the default
+    /// (dense) on an unparseable value — but **warning once** on stderr,
+    /// naming the bad value and the accepted ones, instead of silently
+    /// running a typo like `SQVAE_BACKEND=fusd` on the dense backend.
+    pub fn from_env_spec(raw: &str) -> Self {
+        raw.parse().unwrap_or_else(|err| {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!("warning: {BACKEND_ENV_VAR}: {err}; falling back to 'dense'");
+            });
+            BackendKind::default()
+        })
     }
 
     /// Short lowercase name (`dense` / `fused`), matching what
@@ -91,6 +106,14 @@ mod tests {
     #[test]
     fn default_is_dense() {
         assert_eq!(BackendKind::default(), BackendKind::Dense);
+    }
+
+    #[test]
+    fn env_spec_typo_falls_back_to_dense() {
+        // The warning is emitted once on stderr; the value still resolves.
+        assert_eq!(BackendKind::from_env_spec("fusd"), BackendKind::Dense);
+        assert_eq!(BackendKind::from_env_spec("fused"), BackendKind::Fused);
+        assert_eq!(BackendKind::from_env_spec(""), BackendKind::Dense);
     }
 
     #[test]

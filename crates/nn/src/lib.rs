@@ -47,6 +47,7 @@ mod optim;
 mod sequential;
 
 pub mod backend;
+pub mod exec;
 pub mod init;
 pub mod loss;
 pub mod parallel;
@@ -54,6 +55,7 @@ pub mod parallel;
 pub use activation::{Activation, ActivationKind};
 pub use backend::BackendKind;
 pub use error::{NnError, Result};
+pub use exec::ExecPolicy;
 pub use linear::Linear;
 pub use matrix::Matrix;
 pub use module::{Module, ParamTensor};

@@ -15,14 +15,17 @@ use std::str::FromStr;
 pub const THREADS_ENV_VAR: &str = "SQVAE_THREADS";
 
 /// Row-parallelism policy for layers that shard batch rows across threads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Threads {
     /// One worker per available CPU (capped by the number of rows).
     Auto,
     /// Exactly `n` workers (capped by the number of rows); `Fixed(0)` and
     /// `Fixed(1)` run sequentially.
     Fixed(usize),
-    /// Sequential execution on the calling thread.
+    /// Sequential execution on the calling thread: the conservative
+    /// construction-time default (environment-driven callers use
+    /// [`Threads::from_env`], which defaults to [`Threads::Auto`]).
+    #[default]
     Off,
 }
 
@@ -30,12 +33,27 @@ impl Threads {
     /// Reads the policy from the `SQVAE_THREADS` environment variable:
     /// unset, empty, or `auto` → [`Threads::Auto`]; `0` or `off` →
     /// [`Threads::Off`]; a positive integer `n` → [`Threads::Fixed`]`(n)`.
-    /// Unparseable values fall back to [`Threads::Auto`].
+    /// Unparseable values fall back to [`Threads::Auto`] after a one-time
+    /// stderr warning (see [`Threads::from_env_spec`]).
     pub fn from_env() -> Self {
         match std::env::var(THREADS_ENV_VAR) {
-            Ok(v) => v.parse().unwrap_or(Threads::Auto),
+            Ok(v) => Self::from_env_spec(&v),
             Err(_) => Threads::Auto,
         }
+    }
+
+    /// Parses an environment-supplied spec, falling back to
+    /// [`Threads::Auto`] on an unparseable value — but **warning once** on
+    /// stderr, naming the bad value and the accepted ones, instead of
+    /// silently ignoring a typo like `SQVAE_THREADS=of`.
+    pub fn from_env_spec(raw: &str) -> Self {
+        raw.parse().unwrap_or_else(|err| {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!("warning: {THREADS_ENV_VAR}: {err}; falling back to 'auto'");
+            });
+            Threads::Auto
+        })
     }
 
     /// Number of worker threads to use for `n_rows` independent rows.
@@ -144,6 +162,14 @@ mod tests {
         assert_eq!("0".parse::<Threads>(), Ok(Threads::Off));
         assert_eq!("6".parse::<Threads>(), Ok(Threads::Fixed(6)));
         assert!("six".parse::<Threads>().is_err());
+    }
+
+    #[test]
+    fn env_spec_typo_falls_back_to_auto() {
+        // The warning is emitted once on stderr; the value still resolves.
+        assert_eq!(Threads::from_env_spec("of"), Threads::Auto);
+        assert_eq!(Threads::from_env_spec("3"), Threads::Fixed(3));
+        assert_eq!(Threads::from_env_spec("off"), Threads::Off);
     }
 
     #[test]

@@ -20,9 +20,11 @@
 //! analogous `Threads` policy.
 
 use crate::complex::C64;
+use crate::embed::RotationAxis;
 use crate::error::{QuantumError, Result};
 use crate::gate::Gate;
 use crate::state::StateVector;
+use crate::tape::{CompiledTape, TapeOp};
 
 /// The dense reference backend: exactly today's [`StateVector`] kernels.
 pub type DenseBackend = StateVector;
@@ -168,6 +170,130 @@ pub trait Backend: Clone + std::fmt::Debug {
             g.apply(self, theta)?;
         }
         Ok(())
+    }
+
+    /// Applies one pre-resolved op of a [`CompiledTape`]. `inputs` resolves
+    /// late-bound embedding slots ([`TapeOp::Late`]); all other ops ignore
+    /// it.
+    ///
+    /// The default maps each op onto the primitive kernels (a
+    /// [`TapeOp::CnotRun`] becomes one CNOT per pair); backends override it
+    /// to specialize whole ops, e.g. [`FusedDenseBackend`] applies a CNOT
+    /// run as a single permutation pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors; returns an input-count error if a late
+    /// slot's index exceeds `inputs`.
+    fn apply_tape_op(&mut self, op: &TapeOp, inputs: &[f64]) -> Result<()>
+    where
+        Self: Sized,
+    {
+        match op {
+            TapeOp::OneQ { wire, m } => self.apply_single_qubit(*wire, m),
+            TapeOp::Controlled { control, target, m } => {
+                self.apply_controlled(*control, *target, m)
+            }
+            TapeOp::Phase { control, target, d } => {
+                let m = [[d[0], C64::ZERO], [C64::ZERO, d[1]]];
+                self.apply_controlled(*control, *target, &m)
+            }
+            TapeOp::CnotRun(pairs) => {
+                for &(c, t) in pairs {
+                    self.apply_cnot(c, t)?;
+                }
+                Ok(())
+            }
+            TapeOp::Late { gate, index } => {
+                let theta = *inputs.get(*index).ok_or(QuantumError::InputCountMismatch {
+                    expected: *index + 1,
+                    actual: inputs.len(),
+                })?;
+                gate.apply(self, theta)
+            }
+        }
+    }
+
+    /// Executes a [`CompiledTape`]'s forward program: the batched
+    /// counterpart of [`Backend::apply_ops`], with all parameter-dependent
+    /// resolution already hoisted out by [`crate::Circuit::compile`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an input-count error if `inputs` is shorter than the tape's
+    /// late-bound slots reference, and propagates kernel errors.
+    fn execute_tape(&mut self, tape: &CompiledTape, inputs: &[f64]) -> Result<()>
+    where
+        Self: Sized,
+    {
+        if inputs.len() < tape.n_inputs() {
+            return Err(QuantumError::InputCountMismatch {
+                expected: tape.n_inputs(),
+                actual: inputs.len(),
+            });
+        }
+        for op in tape.forward_ops() {
+            self.apply_tape_op(op, inputs)?;
+        }
+        Ok(())
+    }
+
+    /// One rotation stop of the adjoint backward sweep, fused: returns the
+    /// generator inner product `Im⟨bra|G|ket⟩` (where `self` is the ket and
+    /// `G` is the Pauli generator of a rotation about `axis` on `wire`),
+    /// then un-applies the pre-inverted rotation `inv` to both registers.
+    ///
+    /// The default computes the inner product in one read-only pass (no
+    /// register clone) followed by the two single-qubit un-applications;
+    /// [`FusedDenseBackend`] overrides it with a single traversal that reads
+    /// and writes each amplitude pair of both registers exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::WireOutOfRange`] for an invalid wire.
+    fn adjoint_rotation_stop(
+        &mut self,
+        bra: &mut Self,
+        axis: RotationAxis,
+        wire: usize,
+        inv: &[[C64; 2]; 2],
+    ) -> Result<f64>
+    where
+        Self: Sized,
+    {
+        self.check_wire(wire)?;
+        let mask = 1usize << self.bit_of_wire(wire);
+        let ket = self.statevector().amplitudes();
+        let bra_amps = bra.statevector().amplitudes();
+        let mut acc = 0.0;
+        match axis {
+            // (X|ψ⟩)_i = ψ_{i⊕m}: Im(conj(b_i)·ψ_{i⊕m}).
+            RotationAxis::X => {
+                for (i, bi) in bra_amps.iter().enumerate() {
+                    let x = ket[i ^ mask];
+                    acc += bi.re * x.im - bi.im * x.re;
+                }
+            }
+            // (Y|ψ⟩)_i = ∓i·ψ_{i⊕m} (− with the bit clear): Im picks ∓Re.
+            RotationAxis::Y => {
+                for (i, bi) in bra_amps.iter().enumerate() {
+                    let x = ket[i ^ mask];
+                    let s = if i & mask == 0 { -1.0 } else { 1.0 };
+                    acc += s * (bi.re * x.re + bi.im * x.im);
+                }
+            }
+            // (Z|ψ⟩)_i = ±ψ_i (+ with the bit clear).
+            RotationAxis::Z => {
+                for (i, bi) in bra_amps.iter().enumerate() {
+                    let x = ket[i];
+                    let s = if i & mask == 0 { 1.0 } else { -1.0 };
+                    acc += s * (bi.re * x.im - bi.im * x.re);
+                }
+            }
+        }
+        self.apply_single_qubit(wire, inv)?;
+        bra.apply_single_qubit(wire, inv)?;
+        Ok(acc)
     }
 }
 
@@ -402,6 +528,83 @@ impl Backend for FusedDenseBackend {
         self.0.inner(&other.0)
     }
 
+    fn apply_tape_op(&mut self, op: &TapeOp, inputs: &[f64]) -> Result<()> {
+        match op {
+            // A pre-compiled CNOT run is exactly the permutation pass the
+            // eager fusion discovers gate by gate — apply it directly.
+            TapeOp::CnotRun(pairs) if pairs.len() >= 2 => self.apply_cnot_run(pairs),
+            TapeOp::CnotRun(pairs) => Backend::apply_cnot(self, pairs[0].0, pairs[0].1),
+            // Controlled diagonal phases touch two amplitudes per pair with
+            // one multiplication each — no 2×2 matmul needed.
+            TapeOp::Phase { control, target, d } => {
+                self.check_controlled(*control, *target)?;
+                let cbit = self.bit_of_wire(*control);
+                let tbit = self.bit_of_wire(*target);
+                let d = *d;
+                self.for_each_controlled_pair(cbit, tbit, |i, j, amps| {
+                    amps[i] *= d[0];
+                    amps[j] *= d[1];
+                });
+                Ok(())
+            }
+            TapeOp::OneQ { wire, m } => self.apply_single_qubit(*wire, m),
+            TapeOp::Controlled { control, target, m } => {
+                Backend::apply_controlled(self, *control, *target, m)
+            }
+            TapeOp::Late { gate, index } => {
+                let theta = *inputs.get(*index).ok_or(QuantumError::InputCountMismatch {
+                    expected: *index + 1,
+                    actual: inputs.len(),
+                })?;
+                gate.apply(self, theta)
+            }
+        }
+    }
+
+    fn adjoint_rotation_stop(
+        &mut self,
+        bra: &mut Self,
+        axis: RotationAxis,
+        wire: usize,
+        inv: &[[C64; 2]; 2],
+    ) -> Result<f64> {
+        self.check_wire(wire)?;
+        let stride = 1usize << self.bit_of_wire(wire);
+        let dim = self.dim();
+        let inv = *inv;
+        let ket = self.0.amps_mut();
+        let bra_amps = bra.0.amps_mut();
+        let mut acc = 0.0;
+        let mut base = 0usize;
+        while base < dim {
+            for offset in 0..stride {
+                let i0 = base + offset;
+                let i1 = i0 + stride;
+                let (k0, k1) = (ket[i0], ket[i1]);
+                let (b0, b1) = (bra_amps[i0], bra_amps[i1]);
+                // Generator inner product before the pair is overwritten:
+                // i0 has the wire bit clear, i1 has it set.
+                acc += match axis {
+                    RotationAxis::X => {
+                        (b0.re * k1.im - b0.im * k1.re) + (b1.re * k0.im - b1.im * k0.re)
+                    }
+                    RotationAxis::Y => {
+                        (b1.re * k0.re + b1.im * k0.im) - (b0.re * k1.re + b0.im * k1.im)
+                    }
+                    RotationAxis::Z => {
+                        (b0.re * k0.im - b0.im * k0.re) - (b1.re * k1.im - b1.im * k1.re)
+                    }
+                };
+                ket[i0] = inv[0][0] * k0 + inv[0][1] * k1;
+                ket[i1] = inv[1][0] * k0 + inv[1][1] * k1;
+                bra_amps[i0] = inv[0][0] * b0 + inv[0][1] * b1;
+                bra_amps[i1] = inv[1][0] * b0 + inv[1][1] * b1;
+            }
+            base += stride << 1;
+        }
+        Ok(acc)
+    }
+
     fn apply_ops(&mut self, ops: &[Gate], params: &[f64], inputs: &[f64]) -> Result<()> {
         let resolve = |g: &Gate| g.param().map_or(0.0, |p| p.resolve(params, inputs));
         let mut i = 0;
@@ -446,8 +649,8 @@ impl Backend for FusedDenseBackend {
 }
 
 /// Row-major product `a · b` of two 2×2 complex matrices (gate `b` applied
-/// first, then `a`).
-fn matmul2(a: &[[C64; 2]; 2], b: &[[C64; 2]; 2]) -> [[C64; 2]; 2] {
+/// first, then `a`). Shared with the tape compiler's fusion pass.
+pub(crate) fn matmul2(a: &[[C64; 2]; 2], b: &[[C64; 2]; 2]) -> [[C64; 2]; 2] {
     [
         [
             a[0][0] * b[0][0] + a[0][1] * b[1][0],

@@ -4,6 +4,7 @@ use crate::backend::Backend;
 use crate::error::{QuantumError, Result};
 use crate::gate::{Gate, Param};
 use crate::state::StateVector;
+use crate::tape::{self, CompiledTape};
 
 /// An ordered list of gates over a fixed-width register, with deferred
 /// parameter binding.
@@ -245,12 +246,31 @@ impl Circuit {
         }
     }
 
+    /// Lowers the circuit against one trainable-parameter vector into a
+    /// [`CompiledTape`]: rotation matrices resolve and fuse, CNOT runs
+    /// collapse into permutations, controlled phases become diagonal ops,
+    /// and input-bound embedding gates stay behind as late slots.
+    ///
+    /// This is the entry point of the compile-then-execute pipeline every
+    /// `run_*` convenience wraps. Callers executing many rows against the
+    /// same parameters (a mini-batch) should compile once and reuse the tape
+    /// via [`CompiledTape::execute_on`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantumError::ParamCountMismatch`] if `params` is shorter
+    /// than the circuit references.
+    pub fn compile(&self, params: &[f64]) -> Result<CompiledTape> {
+        tape::compile(self, params)
+    }
+
     /// Executes the circuit on a chosen simulator [`Backend`] and returns
     /// the final register.
     ///
+    /// A documented wrapper over the compile-then-execute pipeline:
+    /// [`Circuit::compile`] followed by [`CompiledTape::execute_on`].
     /// `initial` lets the caller start from an embedded state (amplitude
-    /// embedding); `None` starts from `|0…0⟩`. Backends may fuse or
-    /// specialize gate sub-sequences via [`Backend::apply_ops`].
+    /// embedding); `None` starts from `|0…0⟩`.
     ///
     /// # Errors
     ///
@@ -263,13 +283,12 @@ impl Circuit {
         initial: Option<&B>,
     ) -> Result<B> {
         self.check_bindings(params, inputs)?;
-        let mut state = self.start_state(initial)?;
-        state.apply_ops(&self.ops, params, inputs)?;
-        Ok(state)
+        self.compile(params)?.execute_on(inputs, initial)
     }
 
     /// Executes the circuit on the dense reference backend
-    /// ([`Circuit::run_on`] with `B = StateVector`).
+    /// ([`Circuit::run_on`] with `B = StateVector`): a documented wrapper
+    /// over [`Circuit::compile`] + [`CompiledTape::execute_on`].
     ///
     /// # Errors
     ///
@@ -299,7 +318,8 @@ impl Circuit {
         (0..self.n_qubits).map(|w| state.expectation_z(w)).collect()
     }
 
-    /// Convenience: run then measure `⟨Z⟩` on every wire.
+    /// Convenience: run then measure `⟨Z⟩` on every wire — a documented
+    /// wrapper over [`Circuit::compile`] + [`CompiledTape::expectations_z_on`].
     ///
     /// # Errors
     ///
@@ -314,8 +334,9 @@ impl Circuit {
         self.expectations_z_all(&state)
     }
 
-    /// Convenience: run then return all basis-state probabilities, the
-    /// measurement layer of the baseline quantum decoder.
+    /// Convenience: run then return all basis-state probabilities (the
+    /// measurement layer of the baseline quantum decoder) — a documented
+    /// wrapper over [`Circuit::compile`] + [`CompiledTape::probabilities_on`].
     ///
     /// # Errors
     ///

@@ -16,18 +16,33 @@
 //! wire, basis-state probabilities) is diagonal, one adjoint pass against the
 //! *upstream-weighted* diagonal yields `dL/dθ` and `dL/dx` directly — the
 //! quantum layer's `backward()`.
+//!
+//! Two sweeps are provided per readout: the eager gate-by-gate `*_on`
+//! functions (the reference semantics), and the `*_tape` functions that
+//! replay a [`CompiledTape`]'s pre-lowered adjoint program — pre-inverted
+//! fused fixed segments, pre-resolved inverse rotations, and fused
+//! single-pass generator inner products. Batched training compiles once per
+//! mini-batch and runs the tape sweep per row.
 
 use crate::backend::Backend;
 use crate::circuit::Circuit;
+use crate::complex::C64;
+use crate::embed::RotationAxis;
 use crate::error::{QuantumError, Result};
-use crate::gate::Param;
+use crate::gate::{Gate, Param};
 use crate::grad::CircuitGradients;
 use crate::observable::{probability_diagonal, weighted_z_sum_diagonal};
 use crate::state::StateVector;
+use crate::tape::{AdjointStep, AdjointStop, CompiledTape, TapeOp};
 
 /// [`vjp_diagonal`] generalized over the simulator [`Backend`]: the forward
 /// run, the backward un-application sweep, and the generator inner products
 /// all execute on `B`'s kernels.
+///
+/// This is the **eager, gate-by-gate** reference sweep. The production
+/// training path compiles the circuit once per batch and runs
+/// [`vjp_diagonal_tape`] instead; the two are property-tested to agree at
+/// ≤ 1e-12.
 ///
 /// # Errors
 ///
@@ -49,8 +64,10 @@ pub fn vjp_diagonal_on<B: Backend>(
         });
     }
 
-    // Forward pass.
-    let mut ket = circuit.run_on(params, inputs, initial)?;
+    // Forward pass, deliberately eager ([`Backend::apply_ops`], not the
+    // compiled tape) so this function stays a tape-independent oracle.
+    let mut ket = circuit.start_state(initial)?;
+    ket.apply_ops(circuit.ops(), params, inputs)?;
     let mut bra = ket.clone();
     bra.apply_diagonal_real(diag);
 
@@ -170,6 +187,174 @@ pub fn backward_probabilities(
     upstream: &[f64],
 ) -> Result<CircuitGradients> {
     backward_probabilities_on(circuit, params, inputs, initial, upstream)
+}
+
+/// `Im⟨bra|G|ket⟩` via the generic clone + [`Gate::apply_generator`] path —
+/// the fallback for stops outside the fused single-qubit rotation kernel
+/// (controlled rotations).
+fn generator_inner_im<B: Backend>(bra: &B, ket: &B, gate: &Gate) -> Result<f64> {
+    let mut d = ket.clone();
+    if gate.apply_generator(&mut d)? {
+        Ok(bra.inner(&d).im)
+    } else {
+        Ok(0.0)
+    }
+}
+
+/// The Pauli axis generating `gate`, if it is a single-qubit rotation.
+fn rotation_axis(gate: &Gate) -> Option<RotationAxis> {
+    match gate {
+        Gate::RX(..) => Some(RotationAxis::X),
+        Gate::RY(..) => Some(RotationAxis::Y),
+        Gate::RZ(..) => Some(RotationAxis::Z),
+        _ => None,
+    }
+}
+
+/// Fused-kernel ingredients of a single-qubit rotation stop: the generator
+/// axis, the wire, and the inverse 2×2 to un-apply.
+struct RotationStop {
+    axis: RotationAxis,
+    wire: usize,
+    inv: [[C64; 2]; 2],
+}
+
+/// Resolves a stop into its [`RotationStop`] when its gate is a
+/// single-qubit rotation. Trainable stops carry the pre-inverted matrix on
+/// the tape; input stops derive it from the late-bound angle. Controlled
+/// rotations return `None` (they take the clone-based fallback).
+fn rotation_stop_parts(stop: &AdjointStop, inputs: &[f64]) -> Result<Option<RotationStop>> {
+    let Some(axis) = rotation_axis(stop.gate()) else {
+        return Ok(None);
+    };
+    match stop {
+        AdjointStop::Train {
+            inv: TapeOp::OneQ { wire, m },
+            ..
+        } => Ok(Some(RotationStop {
+            axis,
+            wire: *wire,
+            inv: *m,
+        })),
+        AdjointStop::Train { .. } => Ok(None),
+        AdjointStop::Input { gate, index } => {
+            let theta = *inputs.get(*index).ok_or(QuantumError::InputCountMismatch {
+                expected: *index + 1,
+                actual: inputs.len(),
+            })?;
+            let (wire, m) = gate
+                .single_qubit_matrix(-theta)
+                .expect("single-qubit rotations have a 2x2 matrix");
+            Ok(Some(RotationStop { axis, wire, inv: m }))
+        }
+    }
+}
+
+/// [`vjp_diagonal_on`] against a pre-compiled tape: the production batched
+/// path. The forward run executes the tape, and the backward sweep replays
+/// the tape's pre-lowered adjoint program — fixed-gate segments between
+/// parametrized stops are already inverted and fused, trainable stops carry
+/// pre-resolved inverse matrices, and the generator inner products for
+/// single-qubit rotations run as one fused pass over the amplitudes.
+///
+/// Compile once per batch ([`crate::Circuit::compile`]) and call this per
+/// row.
+///
+/// # Errors
+///
+/// Returns input-count or dimension errors from tape execution, and a
+/// dimension error if `diag` does not match the register.
+pub fn vjp_diagonal_tape<B: Backend>(
+    tape: &CompiledTape,
+    inputs: &[f64],
+    initial: Option<&B>,
+    diag: &[f64],
+) -> Result<CircuitGradients> {
+    let dim = 1usize << tape.n_qubits();
+    if diag.len() != dim {
+        return Err(QuantumError::DimensionMismatch {
+            expected: dim,
+            actual: diag.len(),
+        });
+    }
+
+    // Forward pass on the compiled tape.
+    let mut ket: B = tape.execute_on(inputs, initial)?;
+    let mut bra = ket.clone();
+    bra.apply_diagonal_real(diag);
+
+    let mut grads = CircuitGradients::zeros(tape.n_params(), tape.n_inputs());
+
+    // Backward sweep over the pre-lowered adjoint program.
+    for step in tape.adjoint_steps() {
+        match step {
+            AdjointStep::Unapply(ops) => {
+                for op in ops {
+                    ket.apply_tape_op(op, inputs)?;
+                    bra.apply_tape_op(op, inputs)?;
+                }
+            }
+            AdjointStep::Stop(stop) => {
+                // Single-qubit rotation stops take the backend's fused
+                // kernel: the generator inner product and both
+                // un-applications in one traversal per register.
+                let g = match rotation_stop_parts(stop, inputs)? {
+                    Some(r) => ket.adjoint_rotation_stop(&mut bra, r.axis, r.wire, &r.inv)?,
+                    None => {
+                        let g = generator_inner_im(&bra, &ket, stop.gate())?;
+                        stop.unapply(&mut ket, inputs)?;
+                        stop.unapply(&mut bra, inputs)?;
+                        g
+                    }
+                };
+                match *stop {
+                    AdjointStop::Train { index, .. } => grads.params[index] += g,
+                    AdjointStop::Input { index, .. } => grads.inputs[index] += g,
+                }
+            }
+        }
+    }
+    Ok(grads)
+}
+
+/// [`backward_expectations_z_on`] against a pre-compiled tape.
+///
+/// # Errors
+///
+/// Returns a dimension error if `upstream.len() != n_qubits`, plus tape
+/// execution errors.
+pub fn backward_expectations_z_tape<B: Backend>(
+    tape: &CompiledTape,
+    inputs: &[f64],
+    initial: Option<&B>,
+    upstream: &[f64],
+) -> Result<CircuitGradients> {
+    let n = tape.n_qubits();
+    if upstream.len() != n {
+        return Err(QuantumError::DimensionMismatch {
+            expected: n,
+            actual: upstream.len(),
+        });
+    }
+    let wires: Vec<usize> = (0..n).collect();
+    let diag = weighted_z_sum_diagonal(n, &wires, upstream)?;
+    vjp_diagonal_tape(tape, inputs, initial, &diag)
+}
+
+/// [`backward_probabilities_on`] against a pre-compiled tape.
+///
+/// # Errors
+///
+/// Returns a dimension error if `upstream.len() != 2^n_qubits`, plus tape
+/// execution errors.
+pub fn backward_probabilities_tape<B: Backend>(
+    tape: &CompiledTape,
+    inputs: &[f64],
+    initial: Option<&B>,
+    upstream: &[f64],
+) -> Result<CircuitGradients> {
+    let diag = probability_diagonal(tape.n_qubits(), upstream)?;
+    vjp_diagonal_tape(tape, inputs, initial, &diag)
 }
 
 #[cfg(test)]

@@ -16,6 +16,11 @@
 //!   GPU/sparse/tensor-network backends plug into.
 //! * [`Circuit`] — a gate list with deferred [`Param`] binding (trainable
 //!   parameters vs. embedded input features).
+//! * [`tape`] — the batch-compiled execution pipeline: [`Circuit::compile`]
+//!   lowers the gate list against one parameter vector into a
+//!   [`CompiledTape`] (pre-fused matrices, CNOT-run permutations, diagonal
+//!   phases, late-bound embedding slots) that every row of a mini-batch
+//!   reuses; every `run_*` convenience wraps it.
 //! * [`embed`] — amplitude and angle embeddings (§II-C of the paper).
 //! * [`templates`] — the paper's repeatable hidden layer
 //!   (strongly-entangling `Rot` + CNOT-ring layers).
@@ -60,6 +65,7 @@ pub mod embed;
 pub mod grad;
 pub mod noise;
 pub mod observable;
+pub mod tape;
 pub mod templates;
 
 pub use backend::{Backend, DenseBackend, FusedDenseBackend};
@@ -72,3 +78,4 @@ pub use gate::{
 };
 pub use gate::{Gate, Param};
 pub use state::{StateVector, MAX_QUBITS};
+pub use tape::CompiledTape;

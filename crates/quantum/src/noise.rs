@@ -126,7 +126,11 @@ mod tests {
         let exact = c.run(&params, &[], None).unwrap();
         let traj =
             run_trajectory(&c, &params, &[], None, NoiseModel::noiseless(), &mut rng).unwrap();
-        assert_eq!(exact, traj);
+        // `run` executes the batch-compiled tape (fused matrices), the
+        // trajectory applies gates one at a time: equal to fp tolerance.
+        for (a, b) in exact.amplitudes().iter().zip(traj.amplitudes()) {
+            assert!(a.approx_eq(*b, 1e-12), "{a} vs {b}");
+        }
     }
 
     #[test]

@@ -9,8 +9,12 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sqvae_core::{models, Autoencoder, BackendKind, ParamGroup, Threads, TrainConfig, Trainer};
+use sqvae_core::{
+    models, Autoencoder, BackendKind, ExecPolicy, ParamGroup, QuantumInput, QuantumLayer,
+    QuantumOutput, Threads, TrainConfig, Trainer,
+};
 use sqvae_datasets::Dataset;
+use sqvae_nn::{Matrix, Module};
 
 fn toy_dataset(n: usize, width: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -98,12 +102,78 @@ fn evaluation_is_backend_consistent() {
     let evaluate = |backend: BackendKind| {
         let mut rng = StdRng::seed_from_u64(30);
         let mut model = models::sq_vae(16, 2, 1, &mut rng);
-        model.set_backend(backend);
-        model.set_threads(Threads::Fixed(3));
+        model.set_exec_policy(ExecPolicy::new(Threads::Fixed(3), backend));
         Trainer::evaluate_batched(&mut model, &data, 4).unwrap()
     };
     let dense = evaluate(BackendKind::Dense);
     let fused = evaluate(BackendKind::Fused);
     assert!(dense.is_finite());
     assert!((dense - fused).abs() < 1e-10, "{dense} vs {fused}");
+}
+
+#[test]
+fn tape_reuse_matrix_is_deterministic() {
+    // Each batch pass compiles the circuit once and replays the shared tape
+    // on every row (PR 6 tentpole). Two guarantees, across the full
+    // backend × thread-count matrix: (a) duplicated input rows produce
+    // bitwise-identical output and gradient rows — they replay the same
+    // tape — and (b) every cell with the same backend reproduces the
+    // sequential pass bit for bit, tape sharing included.
+    let x = Matrix::from_fn(6, 3, |i, j| 0.21 * ((i % 3) as f64) - 0.13 * (j as f64));
+    let g = Matrix::from_fn(6, 3, |i, j| 0.17 * ((i % 3) as f64) + 0.05 * (j as f64));
+    // Rows 0..3 repeat as rows 3..6 (both in inputs and upstream grads).
+    for backend in [BackendKind::Dense, BackendKind::Fused] {
+        let run = |threads: Threads| {
+            let mut rng = StdRng::seed_from_u64(17);
+            let mut layer = QuantumLayer::new(
+                3,
+                2,
+                QuantumInput::Angle,
+                QuantumOutput::ExpectationZ,
+                &mut rng,
+            )
+            .with_exec_policy(ExecPolicy::new(threads, backend));
+            let y = layer.forward(&x).unwrap();
+            let gin = layer.backward(&g).unwrap();
+            let grads = layer.parameters()[0].grad.clone();
+            (y, gin, grads)
+        };
+        let baseline = run(Threads::Off);
+        let (y, gin, _) = &baseline;
+        for r in 0..3 {
+            assert_eq!(y.row(r), y.row(r + 3), "{backend:?} duplicated row {r}");
+            assert_eq!(
+                gin.row(r),
+                gin.row(r + 3),
+                "{backend:?} duplicated grad row {r}"
+            );
+        }
+        for threads in [Threads::Fixed(2), Threads::Fixed(4), Threads::Auto] {
+            assert_eq!(
+                run(threads),
+                baseline,
+                "{backend:?} × {threads:?} diverged from the sequential tape replay"
+            );
+        }
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_setters_still_reach_every_stage() {
+    // The pre-PR 6 per-knob API must keep steering the execution policy
+    // (deprecated thin wrappers, not removals).
+    let data = toy_dataset(6, 16, 61);
+    let evaluate = |via_policy: bool| {
+        let mut rng = StdRng::seed_from_u64(60);
+        let mut model = models::sq_vae(16, 2, 1, &mut rng);
+        if via_policy {
+            model.set_exec_policy(ExecPolicy::new(Threads::Fixed(2), BackendKind::Fused));
+        } else {
+            model.set_threads(Threads::Fixed(2));
+            model.set_backend(BackendKind::Fused);
+        }
+        Trainer::evaluate_batched(&mut model, &data, 3).unwrap()
+    };
+    assert_eq!(evaluate(true), evaluate(false));
 }

@@ -110,7 +110,7 @@ fn evaluation_is_thread_count_invariant() {
     let evaluate = |threads: Threads| {
         let mut rng = StdRng::seed_from_u64(20);
         let mut model = models::h_bq_ae(16, 1, &mut rng);
-        model.set_threads(threads);
+        model.set_exec_policy(sqvae_core::ExecPolicy::default().with_threads(threads));
         Trainer::evaluate_batched(&mut model, &data, 4).unwrap()
     };
     let seq = evaluate(Threads::Off);
