@@ -103,7 +103,9 @@ fn main() {
         let digits_n = digits.l1_normalized();
         let mut rng = StdRng::seed_from_u64(args.seed);
         let mut bq = models::f_bq_vae(64, models::BASELINE_LAYERS, &mut rng);
-        train_curve(&mut bq, &digits_n, epochs, &args);
+        args.train_or_restore("fig4c-fbq-digits", &mut bq, |m| {
+            train_curve(m, &digits_n, epochs, &args);
+        });
         for i in 0..3 {
             let x = batch_matrix(&[digits_n.sample(i)]);
             let recon = bq.reconstruct(&x).expect("reconstruction succeeds");
@@ -135,7 +137,9 @@ fn main() {
         // Original-scale reconstruction through the hybrid baseline.
         let mut rng = StdRng::seed_from_u64(args.seed);
         let mut hbq = models::h_bq_vae(64, models::BASELINE_LAYERS, &mut rng);
-        train_curve(&mut hbq, &qm9, epochs, &args);
+        args.train_or_restore("fig4d-hbq-qm9", &mut hbq, |m| {
+            train_curve(m, &qm9, epochs, &args);
+        });
         match sqvae_core::sampling::reconstruct_molecule(&mut hbq, &input_mol, 8, false, None) {
             Ok(Some(m)) => println!(
                 "  reconstructed (original scale): {} ({})",
@@ -148,7 +152,9 @@ fn main() {
         // rescale by the input's L1 norm for decoding.
         let qm9_n = qm9.l1_normalized();
         let mut fbq = models::f_bq_vae(64, models::BASELINE_LAYERS, &mut rng);
-        train_curve(&mut fbq, &qm9_n, epochs, &args);
+        args.train_or_restore("fig4d-fbq-qm9", &mut fbq, |m| {
+            train_curve(m, &qm9_n, epochs, &args);
+        });
         let l1: f64 = mol_feats.iter().sum();
         match sqvae_core::sampling::reconstruct_molecule(&mut fbq, &input_mol, 8, true, Some(l1)) {
             Ok(Some(m)) => println!(

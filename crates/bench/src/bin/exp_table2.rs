@@ -45,15 +45,17 @@ fn main() {
 
         // Classical VAE at the matching LSD.
         let mut vae = models::classical_vae(1024, lsd, &mut rng);
-        let mut trainer = Trainer::new(TrainConfig {
-            epochs,
-            threads: args.threads,
-            backend: args.backend,
-            ..TrainConfig::default()
+        args.train_or_restore(&format!("vae-lsd{lsd}"), &mut vae, |m| {
+            let mut trainer = Trainer::new(TrainConfig {
+                epochs,
+                threads: args.threads,
+                backend: args.backend,
+                ..TrainConfig::default()
+            });
+            trainer
+                .train(m, &train, None)
+                .expect("classical training succeeds");
         });
-        trainer
-            .train(&mut vae, &train, None)
-            .expect("classical training succeeds");
         let mut srng = StdRng::seed_from_u64(args.seed + 1);
         let v =
             sampling::sample_molecules(&mut vae, n_samples, PDBBIND_MATRIX_SIZE, None, &mut srng)
@@ -61,15 +63,17 @@ fn main() {
 
         // SQ-VAE with p patches.
         let mut sq = models::sq_vae(1024, p, args.pick(2, models::SCALABLE_LAYERS), &mut rng);
-        let mut trainer = Trainer::new(TrainConfig {
-            epochs,
-            threads: args.threads,
-            backend: args.backend,
-            ..TrainConfig::default()
+        args.train_or_restore(&format!("sq-lsd{lsd}"), &mut sq, |m| {
+            let mut trainer = Trainer::new(TrainConfig {
+                epochs,
+                threads: args.threads,
+                backend: args.backend,
+                ..TrainConfig::default()
+            });
+            trainer
+                .train(m, &train, None)
+                .expect("quantum training succeeds");
         });
-        trainer
-            .train(&mut sq, &train, None)
-            .expect("quantum training succeeds");
         let mut srng = StdRng::seed_from_u64(args.seed + 1);
         let q =
             sampling::sample_molecules(&mut sq, n_samples, PDBBIND_MATRIX_SIZE, None, &mut srng)

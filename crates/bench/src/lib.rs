@@ -19,6 +19,8 @@
 //! runs. Results print as aligned text tables; EXPERIMENTS.md records the
 //! measured numbers next to the paper's.
 
+use sqvae_core::checkpoint;
+use sqvae_core::Autoencoder;
 use sqvae_nn::{BackendKind, ExecPolicy, Matrix, Threads};
 
 /// Scale of an experiment run.
@@ -47,6 +49,11 @@ pub struct ExpArgs {
     /// defaults to the `SQVAE_BACKEND` environment variable). Backends agree
     /// to ~1e-15 — only wall-clock changes.
     pub backend: BackendKind,
+    /// Optional `--save <path>` — checkpoint the trained model there.
+    pub save: Option<String>,
+    /// Optional `--load <path>` — restore a checkpoint instead of training
+    /// from scratch.
+    pub load: Option<String>,
 }
 
 impl Default for ExpArgs {
@@ -57,6 +64,8 @@ impl Default for ExpArgs {
             seed: 42,
             threads: Threads::from_env(),
             backend: BackendKind::from_env(),
+            save: None,
+            load: None,
         }
     }
 }
@@ -65,8 +74,9 @@ impl ExpArgs {
     /// Parses `std::env::args()`-style arguments (skipping the binary name).
     ///
     /// Recognized: `--full`, `--quick`, `--panel <name>`, `--seed <n>`,
-    /// `--threads <auto|off|n>`, `--backend <dense|fused>`. Unknown flags
-    /// are ignored so wrappers can pass extras through.
+    /// `--threads <auto|off|n>`, `--backend <dense|fused>`,
+    /// `--save <path>`, `--load <path>`. Unknown flags are ignored so
+    /// wrappers can pass extras through.
     pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
         let mut out = ExpArgs::default();
         let mut it = args.into_iter();
@@ -96,6 +106,8 @@ impl ExpArgs {
                         }
                     }
                 }
+                "--save" => out.save = it.next(),
+                "--load" => out.load = it.next(),
                 _ => {}
             }
         }
@@ -120,6 +132,53 @@ impl ExpArgs {
     /// Whether a panel is selected (no selector = run everything).
     pub fn wants_panel(&self, name: &str) -> bool {
         self.panel.as_deref().map_or(true, |p| p == name)
+    }
+
+    /// Honors `--load` / `--save` around a training closure. With `--load`,
+    /// the tagged checkpoint replaces training entirely (falling back to
+    /// `train` when the file is missing or stale); otherwise `train` runs,
+    /// and `--save` (if given) checkpoints the result. Experiments that
+    /// train several models per run pass a distinct `tag` each — it is
+    /// inserted before the path's extension (`out.ckpt` → `out.vae.ckpt`)
+    /// so one flag fans out to one file per model. Checkpoint failures are
+    /// reported but never abort an experiment.
+    pub fn train_or_restore(
+        &self,
+        tag: &str,
+        model: &mut Autoencoder,
+        train: impl FnOnce(&mut Autoencoder),
+    ) {
+        if let Some(path) = &self.load {
+            let path = tagged_path(path, tag);
+            match checkpoint::load_model(&path) {
+                Ok(m) => {
+                    *model = m;
+                    println!("  (restored checkpoint {path})");
+                    return;
+                }
+                Err(e) => println!("  (cannot restore {path}: {e}; training instead)"),
+            }
+        }
+        train(model);
+        if let Some(path) = &self.save {
+            let path = tagged_path(path, tag);
+            match checkpoint::save_model(model, self.seed, &path) {
+                Ok(()) => println!("  (saved checkpoint {path})"),
+                Err(e) => println!("  (checkpoint save skipped: {e})"),
+            }
+        }
+    }
+}
+
+/// Inserts `tag` before the path's extension (or appends it when there is
+/// none); an empty tag leaves the path untouched.
+fn tagged_path(path: &str, tag: &str) -> String {
+    if tag.is_empty() {
+        return path.to_string();
+    }
+    match path.rsplit_once('.') {
+        Some((stem, ext)) if !stem.is_empty() => format!("{stem}.{tag}.{ext}"),
+        _ => format!("{path}.{tag}"),
     }
 }
 
@@ -298,6 +357,70 @@ mod tests {
         // Bad specs keep the default rather than aborting an experiment.
         let default = ExpArgs::default().threads;
         assert_eq!(args(&["--threads", "banana"]).threads, default);
+    }
+
+    #[test]
+    fn parse_save_and_load_paths() {
+        let a = args(&["--save", "out.ckpt", "--load", "in.ckpt"]);
+        assert_eq!(a.save.as_deref(), Some("out.ckpt"));
+        assert_eq!(a.load.as_deref(), Some("in.ckpt"));
+        assert_eq!(ExpArgs::default().save, None);
+    }
+
+    #[test]
+    fn tagged_paths_insert_before_the_extension() {
+        assert_eq!(tagged_path("out.ckpt", "vae"), "out.vae.ckpt");
+        assert_eq!(tagged_path("a/b/out.ckpt", "sq-18"), "a/b/out.sq-18.ckpt");
+        assert_eq!(tagged_path("out", "vae"), "out.vae");
+        assert_eq!(tagged_path("out.ckpt", ""), "out.ckpt");
+    }
+
+    #[test]
+    fn train_or_restore_round_trips_through_a_checkpoint() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use sqvae_core::models;
+
+        let dir = std::env::temp_dir().join("sqvae-bench-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ckpt").to_string_lossy().into_owned();
+
+        // `--save`: the closure runs and the result lands on disk.
+        let mut trained = models::sq_vae(16, 2, 1, &mut StdRng::seed_from_u64(1));
+        let save_args = ExpArgs {
+            save: Some(path.clone()),
+            ..ExpArgs::default()
+        };
+        let mut ran = false;
+        save_args.train_or_restore("t", &mut trained, |_| ran = true);
+        assert!(ran);
+
+        // `--load`: the closure is skipped and the weights come back
+        // bit-identical.
+        let mut restored = models::sq_vae(16, 2, 1, &mut StdRng::seed_from_u64(2));
+        let load_args = ExpArgs {
+            load: Some(path),
+            ..ExpArgs::default()
+        };
+        let mut ran = false;
+        load_args.train_or_restore("t", &mut restored, |_| ran = true);
+        assert!(!ran, "--load must replace training");
+        let x = Matrix::from_fn(2, 16, |r, c| (r * 16 + c) as f64 / 32.0);
+        let a = trained.reconstruct(&x).unwrap();
+        let b = restored.reconstruct(&x).unwrap();
+        assert_eq!(
+            a.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+
+        // Missing checkpoint: falls back to training.
+        let missing = ExpArgs {
+            load: Some(dir.join("absent.ckpt").to_string_lossy().into_owned()),
+            ..ExpArgs::default()
+        };
+        let mut ran = false;
+        missing.train_or_restore("t", &mut restored, |_| ran = true);
+        assert!(ran, "a missing checkpoint must fall back to training");
     }
 
     #[test]

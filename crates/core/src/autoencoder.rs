@@ -2,8 +2,9 @@
 
 use crate::hybrid::{HybridStack, ParamGroup};
 use crate::latent::Latent;
+use crate::models::ModelSpec;
 use rand::Rng;
-use sqvae_nn::{Matrix, Module, NnError, ParamTensor};
+use sqvae_nn::{ExecPolicy, Matrix, Module, NnError, ParamTensor};
 
 /// Per-group trainable parameter counts (the paper's Table I rows).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -34,6 +35,8 @@ pub struct Autoencoder {
     decoder: HybridStack,
     last_kl: f64,
     identity_latent_dim: Option<usize>,
+    spec: Option<ModelSpec>,
+    exec: ExecPolicy,
 }
 
 /// Output of a training-mode forward pass.
@@ -60,6 +63,8 @@ impl Autoencoder {
             decoder,
             last_kl: 0.0,
             identity_latent_dim: None,
+            spec: None,
+            exec: ExecPolicy::default(),
         }
     }
 
@@ -69,6 +74,27 @@ impl Autoencoder {
     pub fn with_identity_latent_dim(mut self, dim: usize) -> Self {
         self.identity_latent_dim = Some(dim);
         self
+    }
+
+    /// Records the [`ModelSpec`] that built this model (factories call
+    /// this); checkpoints persist it so loading can rebuild the same
+    /// architecture.
+    pub fn with_spec(mut self, spec: ModelSpec) -> Self {
+        self.spec = Some(spec);
+        self
+    }
+
+    /// The architecture descriptor recorded at construction, if this model
+    /// came from a `models::*` factory. Hand-assembled models return `None`
+    /// and cannot be checkpointed.
+    pub fn spec(&self) -> Option<ModelSpec> {
+        self.spec
+    }
+
+    /// The execution policy most recently applied via
+    /// [`Autoencoder::set_exec_policy`] (default: sequential, dense).
+    pub fn exec_policy(&self) -> ExecPolicy {
+        self.exec
     }
 
     /// Whether the model is a VAE (supports sampling new data).
@@ -117,6 +143,21 @@ impl Autoencoder {
         Ok(ForwardOutput { reconstruction, kl })
     }
 
+    /// Evaluation-mode encoding: maps inputs to latent vectors. VAEs return
+    /// the posterior mean `μ` (no sampling).
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors from any stage.
+    pub fn encode(&mut self, input: &Matrix) -> Result<Matrix, NnError> {
+        let h = self.encoder.forward(input)?;
+        match &mut self.latent {
+            Latent::Identity => Ok(h),
+            Latent::Linear(l) => l.forward(&h),
+            Latent::Gaussian(g) => g.forward_mean(&h),
+        }
+    }
+
     /// Evaluation-mode reconstruction: VAEs use the posterior mean `μ`
     /// instead of sampling.
     ///
@@ -124,12 +165,7 @@ impl Autoencoder {
     ///
     /// Returns shape errors from any stage.
     pub fn reconstruct(&mut self, input: &Matrix) -> Result<Matrix, NnError> {
-        let h = self.encoder.forward(input)?;
-        let z = match &mut self.latent {
-            Latent::Identity => h,
-            Latent::Linear(l) => l.forward(&h)?,
-            Latent::Gaussian(g) => g.forward_mean(&h)?,
-        };
+        let z = self.encode(input)?;
         self.decoder.forward(&z)
     }
 
@@ -161,18 +197,28 @@ impl Autoencoder {
         self.decoder.forward(z)
     }
 
+    /// Draws `n` latent vectors `z ~ N(0, I)` without decoding them.
+    ///
+    /// [`Autoencoder::sample`] is exactly `decode(sample_latent(n, rng))`;
+    /// the split lets callers (e.g. the inference service) batch the latent
+    /// draws of several requests into one decoder pass while consuming the
+    /// identical RNG stream a direct `sample` call would.
+    pub fn sample_latent(&mut self, n: usize, rng: &mut impl Rng) -> Matrix {
+        let d = self.latent_dim();
+        Matrix::from_fn(n, d, |_, _| {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        })
+    }
+
     /// Draws `n` samples by decoding `z ~ N(0, I)`.
     ///
     /// # Errors
     ///
     /// Returns shape errors from the decoder.
     pub fn sample(&mut self, n: usize, rng: &mut impl Rng) -> Result<Matrix, NnError> {
-        let d = self.latent_dim();
-        let z = Matrix::from_fn(n, d, |_, _| {
-            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-            let u2: f64 = rng.gen_range(0.0..1.0);
-            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-        });
+        let z = self.sample_latent(n, rng);
         self.decode(&z)
     }
 
@@ -186,6 +232,15 @@ impl Autoencoder {
     pub fn set_kl_scale(&mut self, scale: f64) {
         if let Latent::Gaussian(g) = &mut self.latent {
             g.set_kl_scale(scale);
+        }
+    }
+
+    /// The current KL warm-up scale (1.0 for non-variational models, which
+    /// have no KL term to scale).
+    pub fn kl_scale(&self) -> f64 {
+        match &self.latent {
+            Latent::Gaussian(g) => g.kl_scale(),
+            _ => 1.0,
         }
     }
 
@@ -205,6 +260,7 @@ impl Autoencoder {
     /// latent heads ignore it). The trainer calls this with its configured
     /// [`sqvae_nn::ExecPolicy`] before each run.
     pub fn set_exec_policy(&mut self, policy: sqvae_nn::ExecPolicy) {
+        self.exec = policy;
         self.encoder.set_exec_policy(policy);
         self.decoder.set_exec_policy(policy);
     }
@@ -213,6 +269,7 @@ impl Autoencoder {
     /// (classical stages and latent heads ignore it).
     #[deprecated(note = "use `Autoencoder::set_exec_policy` with an `ExecPolicy`")]
     pub fn set_threads(&mut self, threads: sqvae_nn::Threads) {
+        self.exec.threads = threads;
         #[allow(deprecated)]
         {
             Module::set_threads(&mut self.encoder, threads);
@@ -224,6 +281,7 @@ impl Autoencoder {
     /// and latent heads ignore it).
     #[deprecated(note = "use `Autoencoder::set_exec_policy` with an `ExecPolicy`")]
     pub fn set_backend(&mut self, backend: sqvae_nn::BackendKind) {
+        self.exec.backend = backend;
         #[allow(deprecated)]
         {
             Module::set_backend(&mut self.encoder, backend);

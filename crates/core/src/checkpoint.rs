@@ -1,0 +1,609 @@
+//! Model checkpointing: persist a trained [`Autoencoder`] and rebuild it.
+//!
+//! A checkpoint is a self-describing binary file:
+//!
+//! ```text
+//! magic "SQVAECKP" (8 bytes)
+//! format version   (u32 LE)
+//! body length      (u64 LE)
+//! body             (see below)
+//! FNV-1a-64 of body (u64 LE)
+//! ```
+//!
+//! The body carries the model name, the [`ModelSpec`] architecture tag (so
+//! loading can call the same `models::*` factory that built the model), the
+//! simulator backend it ran on, the RNG seed recorded at save time, and the
+//! parameter tensors of both optimizer groups. Floats travel as IEEE-754
+//! bit patterns ([`sqvae_nn::serialize`]), so a save → load round trip
+//! reconstructs **bit-identically** — `reconstruct` on the loaded model
+//! produces the same bits as on the original.
+//!
+//! Corrupt input is a typed [`CheckpointError`], never a panic: truncation
+//! surfaces as [`CheckpointError::Io`] (`UnexpectedEof`), bit flips as
+//! [`CheckpointError::ChecksumMismatch`], format drift as
+//! [`CheckpointError::UnsupportedVersion`].
+//!
+//! ## Example: save, reload, verify
+//!
+//! ```
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use sqvae_core::checkpoint::Checkpoint;
+//! use sqvae_core::models;
+//! use sqvae_nn::Matrix;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let mut model = models::sq_ae(16, 2, 1, &mut rng);
+//! let ckpt = Checkpoint::capture(&mut model, 7)?;
+//! let mut bytes = Vec::new();
+//! ckpt.write_to(&mut bytes)?;
+//!
+//! let mut reloaded = Checkpoint::read_from(&bytes[..])?.build_model()?;
+//! let x = Matrix::filled(2, 16, 0.5);
+//! assert_eq!(model.reconstruct(&x)?, reloaded.reconstruct(&x)?);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::autoencoder::Autoencoder;
+use crate::hybrid::ParamGroup;
+use crate::models::ModelSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sqvae_nn::serialize::{
+    read_matrix, read_string, read_u32, read_u64, write_matrix, write_string, write_u32, write_u64,
+};
+use sqvae_nn::{BackendKind, ExecPolicy, Matrix};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// File magic identifying a checkpoint.
+pub const MAGIC: [u8; 8] = *b"SQVAECKP";
+
+/// Current checkpoint format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Upper bound on the serialized body (1 GiB) — rejects absurd headers
+/// before any allocation.
+pub const MAX_BODY_BYTES: u64 = 1 << 30;
+
+/// Upper bound on the tensor count per parameter group.
+pub const MAX_TENSORS_PER_GROUP: u32 = 1 << 16;
+
+/// Everything that can go wrong saving or loading a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure; truncated files surface as `UnexpectedEof`.
+    Io(io::Error),
+    /// The file does not start with [`MAGIC`] — not a checkpoint.
+    BadMagic,
+    /// The file's format version is newer than this build understands.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+    },
+    /// The body's FNV-1a-64 digest does not match the stored one.
+    ChecksumMismatch,
+    /// Structurally invalid content (bad tags, trailing bytes, caps
+    /// exceeded); the message says what.
+    Corrupt(String),
+    /// The model was assembled by hand, not a `models::*` factory, so it
+    /// carries no [`ModelSpec`] and cannot be rebuilt from a file.
+    MissingSpec,
+    /// A stored tensor's shape differs from the target model's tensor.
+    ShapeMismatch {
+        /// Which optimizer group the tensor belongs to.
+        group: ParamGroup,
+        /// Index of the tensor within its group.
+        index: usize,
+        /// Shape the target model expects.
+        expected: (usize, usize),
+        /// Shape found in the snapshot.
+        found: (usize, usize),
+    },
+    /// The snapshot holds a different number of tensors than the target.
+    TensorCountMismatch {
+        /// Which optimizer group mismatched.
+        group: ParamGroup,
+        /// Tensor count the target model expects.
+        expected: usize,
+        /// Tensor count found in the snapshot.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            CheckpointError::UnsupportedVersion { found } => write!(
+                f,
+                "checkpoint format version {found} is newer than the supported {FORMAT_VERSION}"
+            ),
+            CheckpointError::ChecksumMismatch => {
+                write!(f, "checkpoint body does not match its checksum")
+            }
+            CheckpointError::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
+            CheckpointError::MissingSpec => write!(
+                f,
+                "model has no architecture spec (not built by a models::* factory)"
+            ),
+            CheckpointError::ShapeMismatch {
+                group,
+                index,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{group:?} tensor {index}: model expects {}x{}, checkpoint has {}x{}",
+                expected.0, expected.1, found.0, found.1
+            ),
+            CheckpointError::TensorCountMismatch {
+                group,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{group:?} group: model has {expected} tensors, checkpoint has {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// FNV-1a 64-bit digest — tiny, dependency-free corruption detection (not
+/// cryptographic).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A copy of a model's parameter values, split by optimizer group.
+///
+/// Used in two roles: the payload of a [`Checkpoint`], and a lightweight
+/// in-memory snapshot for the trainer's best-weights restore (no
+/// architecture metadata needed when the target is the same live model).
+#[derive(Debug, Clone)]
+pub struct ParamSnapshot {
+    quantum: Vec<Matrix>,
+    classical: Vec<Matrix>,
+}
+
+impl ParamSnapshot {
+    /// Copies the current parameter values out of `model`.
+    pub fn capture(model: &mut Autoencoder) -> Self {
+        let quantum = model
+            .parameters_of(ParamGroup::Quantum)
+            .iter()
+            .map(|p| p.value.clone())
+            .collect();
+        let classical = model
+            .parameters_of(ParamGroup::Classical)
+            .iter()
+            .map(|p| p.value.clone())
+            .collect();
+        ParamSnapshot { quantum, classical }
+    }
+
+    /// Writes the snapshot's values back into `model`, group by group.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::TensorCountMismatch`] / [`CheckpointError::ShapeMismatch`]
+    /// when `model`'s architecture differs from the snapshot's origin; the
+    /// model is untouched in that case.
+    pub fn restore(&self, model: &mut Autoencoder) -> Result<(), CheckpointError> {
+        // Validate both groups fully before mutating anything.
+        for (group, stored) in [
+            (ParamGroup::Quantum, &self.quantum),
+            (ParamGroup::Classical, &self.classical),
+        ] {
+            let params = model.parameters_of(group);
+            if params.len() != stored.len() {
+                return Err(CheckpointError::TensorCountMismatch {
+                    group,
+                    expected: params.len(),
+                    found: stored.len(),
+                });
+            }
+            for (index, (p, s)) in params.iter().zip(stored).enumerate() {
+                if p.value.shape() != s.shape() {
+                    return Err(CheckpointError::ShapeMismatch {
+                        group,
+                        index,
+                        expected: p.value.shape(),
+                        found: s.shape(),
+                    });
+                }
+            }
+        }
+        for (group, stored) in [
+            (ParamGroup::Quantum, &self.quantum),
+            (ParamGroup::Classical, &self.classical),
+        ] {
+            for (p, s) in model.parameters_of(group).into_iter().zip(stored) {
+                p.value = s.clone();
+            }
+        }
+        Ok(())
+    }
+
+    fn write_group(w: &mut impl Write, group: &[Matrix]) -> io::Result<()> {
+        write_u32(w, group.len() as u32)?;
+        for m in group {
+            write_matrix(w, m)?;
+        }
+        Ok(())
+    }
+
+    fn read_group(r: &mut impl Read) -> Result<Vec<Matrix>, CheckpointError> {
+        let n = read_u32(r)?;
+        if n > MAX_TENSORS_PER_GROUP {
+            return Err(CheckpointError::Corrupt(format!(
+                "{n} tensors in one group exceeds the cap"
+            )));
+        }
+        let mut v = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            v.push(read_matrix(r)?);
+        }
+        Ok(v)
+    }
+}
+
+/// A saved model: architecture descriptor, execution metadata, and the
+/// trained parameter tensors.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Human-readable model name (e.g. `"SQ-VAE(p=8,lsd=56)"`).
+    pub name: String,
+    /// Architecture descriptor; [`Checkpoint::build_model`] feeds it back
+    /// through the factory that built the original.
+    pub spec: ModelSpec,
+    /// Simulator backend the model ran on; restored on load. (Thread policy
+    /// is machine-local and deliberately *not* persisted.)
+    pub backend: BackendKind,
+    /// RNG seed recorded by the caller at save time (provenance metadata —
+    /// e.g. the training seed; not consumed on load).
+    pub seed: u64,
+    /// The parameter tensors of both optimizer groups.
+    pub params: ParamSnapshot,
+}
+
+impl Checkpoint {
+    /// Snapshots `model` into a checkpoint, recording `seed` as provenance.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::MissingSpec`] when the model was not built by a
+    /// `models::*` factory (nothing records its architecture).
+    pub fn capture(model: &mut Autoencoder, seed: u64) -> Result<Self, CheckpointError> {
+        let spec = model.spec().ok_or(CheckpointError::MissingSpec)?;
+        Ok(Checkpoint {
+            name: model.name.clone(),
+            spec,
+            backend: model.exec_policy().backend,
+            seed,
+            params: ParamSnapshot::capture(model),
+        })
+    }
+
+    /// Rebuilds the model this checkpoint describes: factory-construct from
+    /// the spec, overwrite every parameter with the saved tensors, restore
+    /// the saved backend (threads come from the environment — a
+    /// machine-local choice).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ParamSnapshot::restore`] errors; impossible for a
+    /// checkpoint produced by [`Checkpoint::capture`] unless the factory
+    /// definitions changed since the file was written.
+    pub fn build_model(&self) -> Result<Autoencoder, CheckpointError> {
+        // The seed only places throwaway initial values; restore overwrites
+        // every tensor. Reusing the recorded seed keeps the build fully
+        // deterministic anyway.
+        let mut model = self.spec.build(&mut StdRng::seed_from_u64(self.seed));
+        self.params.restore(&mut model)?;
+        model.set_exec_policy(ExecPolicy::from_env().with_backend(self.backend));
+        Ok(model)
+    }
+
+    /// Serializes the checkpoint to `w` (magic, version, body, checksum).
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn write_to(&self, mut w: impl Write) -> Result<(), CheckpointError> {
+        let mut body = Vec::new();
+        write_string(&mut body, &self.name)?;
+        write_string(&mut body, &self.spec.to_string())?;
+        write_string(&mut body, self.backend.name())?;
+        write_u64(&mut body, self.seed)?;
+        ParamSnapshot::write_group(&mut body, &self.params.quantum)?;
+        ParamSnapshot::write_group(&mut body, &self.params.classical)?;
+
+        w.write_all(&MAGIC)?;
+        write_u32(&mut w, FORMAT_VERSION)?;
+        write_u64(&mut w, body.len() as u64)?;
+        w.write_all(&body)?;
+        write_u64(&mut w, fnv1a64(&body))?;
+        Ok(())
+    }
+
+    /// Deserializes a checkpoint written by [`Checkpoint::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::BadMagic`], [`CheckpointError::UnsupportedVersion`],
+    /// [`CheckpointError::ChecksumMismatch`], [`CheckpointError::Corrupt`],
+    /// or [`CheckpointError::Io`] (truncation → `UnexpectedEof`).
+    pub fn read_from(mut r: impl Read) -> Result<Self, CheckpointError> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = read_u32(&mut r)?;
+        if version > FORMAT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion { found: version });
+        }
+        let body_len = read_u64(&mut r)?;
+        if body_len > MAX_BODY_BYTES {
+            return Err(CheckpointError::Corrupt(format!(
+                "body length {body_len} exceeds the cap"
+            )));
+        }
+        let mut body = vec![0u8; body_len as usize];
+        r.read_exact(&mut body)?;
+        let stored_digest = read_u64(&mut r)?;
+        if fnv1a64(&body) != stored_digest {
+            return Err(CheckpointError::ChecksumMismatch);
+        }
+
+        let mut b: &[u8] = &body;
+        let name = read_string(&mut b)?;
+        let spec_tag = read_string(&mut b)?;
+        let spec: ModelSpec = spec_tag.parse().map_err(CheckpointError::Corrupt)?;
+        let backend_tag = read_string(&mut b)?;
+        let backend: BackendKind = backend_tag
+            .parse()
+            .map_err(|e: String| CheckpointError::Corrupt(e))?;
+        let seed = read_u64(&mut b)?;
+        let quantum = ParamSnapshot::read_group(&mut b)?;
+        let classical = ParamSnapshot::read_group(&mut b)?;
+        if !b.is_empty() {
+            return Err(CheckpointError::Corrupt(format!(
+                "{} trailing bytes after the last tensor",
+                b.len()
+            )));
+        }
+        Ok(Checkpoint {
+            name,
+            spec,
+            backend,
+            seed,
+            params: ParamSnapshot { quantum, classical },
+        })
+    }
+
+    /// Writes the checkpoint to a file at `path` (buffered).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let mut w = BufWriter::new(File::create(path)?);
+        self.write_to(&mut w)?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Reads a checkpoint from the file at `path` (buffered).
+    ///
+    /// # Errors
+    ///
+    /// See [`Checkpoint::read_from`]; plus filesystem errors opening the
+    /// file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        Checkpoint::read_from(BufReader::new(File::open(path)?))
+    }
+}
+
+/// Convenience: snapshot `model` (recording `seed`) and save it to `path`.
+///
+/// # Errors
+///
+/// See [`Checkpoint::capture`] and [`Checkpoint::save`].
+pub fn save_model(
+    model: &mut Autoencoder,
+    seed: u64,
+    path: impl AsRef<Path>,
+) -> Result<(), CheckpointError> {
+    Checkpoint::capture(model, seed)?.save(path)
+}
+
+/// Convenience: load the checkpoint at `path` and rebuild its model.
+///
+/// # Errors
+///
+/// See [`Checkpoint::load`] and [`Checkpoint::build_model`].
+pub fn load_model(path: impl AsRef<Path>) -> Result<Autoencoder, CheckpointError> {
+    Checkpoint::load(path)?.build_model()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+
+    fn model() -> Autoencoder {
+        models::sq_vae(16, 2, 1, &mut StdRng::seed_from_u64(3))
+    }
+
+    fn checkpoint_bytes() -> Vec<u8> {
+        let mut m = model();
+        let mut bytes = Vec::new();
+        Checkpoint::capture(&mut m, 3)
+            .unwrap()
+            .write_to(&mut bytes)
+            .unwrap();
+        bytes
+    }
+
+    #[test]
+    fn round_trip_preserves_metadata_and_bits() {
+        let mut m = model();
+        let ckpt = Checkpoint::capture(&mut m, 42).unwrap();
+        let mut bytes = Vec::new();
+        ckpt.write_to(&mut bytes).unwrap();
+        let back = Checkpoint::read_from(&bytes[..]).unwrap();
+        assert_eq!(back.name, m.name);
+        assert_eq!(back.spec, m.spec().unwrap());
+        assert_eq!(back.seed, 42);
+        assert_eq!(back.backend, BackendKind::Dense);
+        for (a, b) in ckpt.params.quantum.iter().zip(&back.params.quantum) {
+            assert_eq!(a, b);
+        }
+        let mut rebuilt = back.build_model().unwrap();
+        let x = Matrix::from_fn(3, 16, |r, c| (r * 16 + c) as f64 / 48.0);
+        let y0 = m.reconstruct(&x).unwrap();
+        let y1 = rebuilt.reconstruct(&x).unwrap();
+        for (a, b) in y0.as_slice().iter().zip(y1.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn handmade_models_cannot_be_captured() {
+        let mut m = Autoencoder::new(
+            "handmade",
+            crate::hybrid::HybridStack::new(),
+            crate::latent::Latent::Identity,
+            crate::hybrid::HybridStack::new(),
+        );
+        assert!(matches!(
+            Checkpoint::capture(&mut m, 0),
+            Err(CheckpointError::MissingSpec)
+        ));
+    }
+
+    #[test]
+    fn bad_magic_is_detected() {
+        let mut bytes = checkpoint_bytes();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            Checkpoint::read_from(&bytes[..]),
+            Err(CheckpointError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut bytes = checkpoint_bytes();
+        bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        assert!(matches!(
+            Checkpoint::read_from(&bytes[..]),
+            Err(CheckpointError::UnsupportedVersion { found }) if found == FORMAT_VERSION + 1
+        ));
+    }
+
+    #[test]
+    fn bit_flip_in_body_fails_the_checksum() {
+        let mut bytes = checkpoint_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        assert!(matches!(
+            Checkpoint::read_from(&bytes[..]),
+            Err(CheckpointError::ChecksumMismatch)
+        ));
+    }
+
+    #[test]
+    fn truncation_is_an_io_error() {
+        let bytes = checkpoint_bytes();
+        for cut in [4, 12, 19, bytes.len() - 1] {
+            let err = Checkpoint::read_from(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(&err, CheckpointError::Io(e) if e.kind() == io::ErrorKind::UnexpectedEof),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn restore_rejects_architecture_mismatch() {
+        let mut m = model();
+        let ckpt = Checkpoint::capture(&mut m, 0).unwrap();
+        // Same factory family, different width: tensor shapes differ.
+        let mut other = models::sq_vae(32, 2, 1, &mut StdRng::seed_from_u64(0));
+        let before = ParamSnapshot::capture(&mut other);
+        let err = ckpt.params.restore(&mut other).unwrap_err();
+        assert!(matches!(
+            err,
+            CheckpointError::ShapeMismatch { .. } | CheckpointError::TensorCountMismatch { .. }
+        ));
+        // Failed restore must leave the target untouched.
+        let after = ParamSnapshot::capture(&mut other);
+        for (a, b) in before.quantum.iter().zip(&after.quantum) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_on_the_live_model() {
+        let mut m = model();
+        let snap = ParamSnapshot::capture(&mut m);
+        // Perturb every parameter, then restore.
+        for p in m.parameters_of(ParamGroup::Quantum) {
+            for v in p.value.as_mut_slice() {
+                *v += 1.0;
+            }
+        }
+        for p in m.parameters_of(ParamGroup::Classical) {
+            for v in p.value.as_mut_slice() {
+                *v -= 0.5;
+            }
+        }
+        snap.restore(&mut m).unwrap();
+        let now = ParamSnapshot::capture(&mut m);
+        for (a, b) in snap.quantum.iter().zip(&now.quantum) {
+            assert_eq!(a, b);
+        }
+        for (a, b) in snap.classical.iter().zip(&now.classical) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let msgs = [
+            CheckpointError::BadMagic.to_string(),
+            CheckpointError::UnsupportedVersion { found: 9 }.to_string(),
+            CheckpointError::ChecksumMismatch.to_string(),
+            CheckpointError::MissingSpec.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+    }
+}

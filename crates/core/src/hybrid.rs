@@ -17,9 +17,12 @@ pub enum ParamGroup {
 }
 
 /// An ordered chain of tagged modules behaving as one [`Module`].
+///
+/// Stages are boxed as `dyn Module + Send`, so an assembled model can move
+/// onto a worker thread (the inference service keeps warm models there).
 #[derive(Default)]
 pub struct HybridStack {
-    stages: Vec<(ParamGroup, Box<dyn Module>)>,
+    stages: Vec<(ParamGroup, Box<dyn Module + Send>)>,
 }
 
 impl std::fmt::Debug for HybridStack {
@@ -45,12 +48,12 @@ impl HybridStack {
     }
 
     /// Appends a classical stage.
-    pub fn push_classical(&mut self, module: impl Module + 'static) {
+    pub fn push_classical(&mut self, module: impl Module + Send + 'static) {
         self.stages.push((ParamGroup::Classical, Box::new(module)));
     }
 
     /// Appends a quantum stage.
-    pub fn push_quantum(&mut self, module: impl Module + 'static) {
+    pub fn push_quantum(&mut self, module: impl Module + Send + 'static) {
         self.stages.push((ParamGroup::Quantum, Box::new(module)));
     }
 

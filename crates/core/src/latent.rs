@@ -53,6 +53,11 @@ impl GaussianLatent {
         self.kl_scale = scale.max(0.0);
     }
 
+    /// The current KL warm-up scale (1.0 unless a schedule is mid-ramp).
+    pub fn kl_scale(&self) -> f64 {
+        self.kl_scale
+    }
+
     /// Latent width.
     pub fn latent_dim(&self) -> usize {
         self.mu_head.out_features()
@@ -93,10 +98,16 @@ impl GaussianLatent {
 
     /// The deterministic latent code `μ(h)` (used at evaluation time).
     ///
+    /// Invalidates any cached sample: a `backward` call must always pair
+    /// with the *immediately preceding* `forward_sample`, and `mu_head`'s
+    /// internal activations were just overwritten by this forward, so a
+    /// stale cache would silently mix two different forward passes.
+    ///
     /// # Errors
     ///
     /// Returns shape errors when `hidden` width mismatches the heads.
     pub fn forward_mean(&mut self, hidden: &Matrix) -> Result<Matrix, NnError> {
+        self.cached = None;
         self.mu_head.forward(hidden)
     }
 
@@ -231,6 +242,24 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut lat = GaussianLatent::new(2, 2, 1.0, &mut rng);
         assert!(lat.backward(&Matrix::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn forward_mean_invalidates_the_sample_cache() {
+        // A mean (evaluation) forward between forward_sample and backward
+        // must not leave the stale sample cache behind: backward would pair
+        // the old ε/μ/logvar with mu_head activations from the *mean* pass.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut lat = GaussianLatent::new(3, 2, 1.0, &mut rng);
+        let h = Matrix::filled(2, 3, 0.4);
+        lat.forward_sample(&h, &mut rng).unwrap();
+        assert!(lat.last_kl().is_some());
+        lat.forward_mean(&h).unwrap();
+        assert!(lat.last_kl().is_none());
+        assert_eq!(
+            lat.backward(&Matrix::zeros(2, 2)),
+            Err(NnError::BackwardBeforeForward)
+        );
     }
 
     #[test]

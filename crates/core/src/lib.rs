@@ -48,6 +48,7 @@ mod patched;
 mod quantum_layer;
 mod trainer;
 
+pub mod checkpoint;
 pub mod models;
 pub mod sampling;
 

@@ -26,6 +26,268 @@ use sqvae_quantum::embed::qubits_for_features;
 /// Default KL weight for the VAE variants.
 pub const DEFAULT_KL_WEIGHT: f64 = 1.0;
 
+/// The architecture of a factory-built autoencoder, captured as data.
+///
+/// Every `models::*` factory stamps its spec onto the returned
+/// [`Autoencoder`], so a trained model can be persisted (the checkpoint
+/// format stores the spec as a tag string) and rebuilt later via
+/// [`ModelSpec::build`] — same constructor, same shapes — before the saved
+/// parameters are copied in.
+///
+/// The textual form round-trips through [`std::fmt::Display`] /
+/// [`std::str::FromStr`]: `"sq_vae 64 2 1"` ⇄ `SqVae { input_dim: 64,
+/// p: 2, n_layers: 1 }`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelSpec {
+    /// [`classical_ae`].
+    ClassicalAe {
+        /// Feature width.
+        input_dim: usize,
+        /// Latent width.
+        latent_dim: usize,
+    },
+    /// [`classical_vae`].
+    ClassicalVae {
+        /// Feature width.
+        input_dim: usize,
+        /// Latent width.
+        latent_dim: usize,
+    },
+    /// [`f_bq_ae`].
+    FBqAe {
+        /// Feature width (≤ 2^qubits).
+        input_dim: usize,
+        /// Strongly-entangling layer count.
+        n_layers: usize,
+    },
+    /// [`f_bq_vae`].
+    FBqVae {
+        /// Feature width (≤ 2^qubits).
+        input_dim: usize,
+        /// Strongly-entangling layer count.
+        n_layers: usize,
+    },
+    /// [`h_bq_ae`].
+    HBqAe {
+        /// Feature width (≤ 2^qubits).
+        input_dim: usize,
+        /// Strongly-entangling layer count.
+        n_layers: usize,
+    },
+    /// [`h_bq_vae`].
+    HBqVae {
+        /// Feature width (≤ 2^qubits).
+        input_dim: usize,
+        /// Strongly-entangling layer count.
+        n_layers: usize,
+    },
+    /// [`sq_ae`].
+    SqAe {
+        /// Feature width (power of two).
+        input_dim: usize,
+        /// Patch count (power of two, `< input_dim`).
+        p: usize,
+        /// Strongly-entangling layer count per patch.
+        n_layers: usize,
+    },
+    /// [`sq_vae`].
+    SqVae {
+        /// Feature width (power of two).
+        input_dim: usize,
+        /// Patch count (power of two, `< input_dim`).
+        p: usize,
+        /// Strongly-entangling layer count per patch.
+        n_layers: usize,
+    },
+}
+
+impl ModelSpec {
+    /// Rebuilds the architecture this spec describes by calling its factory.
+    ///
+    /// The `rng` only seeds the *initial* parameters; checkpoint loading
+    /// overwrites every tensor afterwards, so any seed yields the same
+    /// restored model.
+    pub fn build(&self, rng: &mut impl Rng) -> Autoencoder {
+        match *self {
+            ModelSpec::ClassicalAe {
+                input_dim,
+                latent_dim,
+            } => classical_ae(input_dim, latent_dim, rng),
+            ModelSpec::ClassicalVae {
+                input_dim,
+                latent_dim,
+            } => classical_vae(input_dim, latent_dim, rng),
+            ModelSpec::FBqAe {
+                input_dim,
+                n_layers,
+            } => f_bq_ae(input_dim, n_layers, rng),
+            ModelSpec::FBqVae {
+                input_dim,
+                n_layers,
+            } => f_bq_vae(input_dim, n_layers, rng),
+            ModelSpec::HBqAe {
+                input_dim,
+                n_layers,
+            } => h_bq_ae(input_dim, n_layers, rng),
+            ModelSpec::HBqVae {
+                input_dim,
+                n_layers,
+            } => h_bq_vae(input_dim, n_layers, rng),
+            ModelSpec::SqAe {
+                input_dim,
+                p,
+                n_layers,
+            } => sq_ae(input_dim, p, n_layers, rng),
+            ModelSpec::SqVae {
+                input_dim,
+                p,
+                n_layers,
+            } => sq_vae(input_dim, p, n_layers, rng),
+        }
+    }
+
+    /// The feature width the model consumes and reconstructs.
+    pub fn input_dim(&self) -> usize {
+        match *self {
+            ModelSpec::ClassicalAe { input_dim, .. }
+            | ModelSpec::ClassicalVae { input_dim, .. }
+            | ModelSpec::FBqAe { input_dim, .. }
+            | ModelSpec::FBqVae { input_dim, .. }
+            | ModelSpec::HBqAe { input_dim, .. }
+            | ModelSpec::HBqVae { input_dim, .. }
+            | ModelSpec::SqAe { input_dim, .. }
+            | ModelSpec::SqVae { input_dim, .. } => input_dim,
+        }
+    }
+}
+
+impl std::fmt::Display for ModelSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ModelSpec::ClassicalAe {
+                input_dim,
+                latent_dim,
+            } => write!(f, "classical_ae {input_dim} {latent_dim}"),
+            ModelSpec::ClassicalVae {
+                input_dim,
+                latent_dim,
+            } => write!(f, "classical_vae {input_dim} {latent_dim}"),
+            ModelSpec::FBqAe {
+                input_dim,
+                n_layers,
+            } => write!(f, "f_bq_ae {input_dim} {n_layers}"),
+            ModelSpec::FBqVae {
+                input_dim,
+                n_layers,
+            } => write!(f, "f_bq_vae {input_dim} {n_layers}"),
+            ModelSpec::HBqAe {
+                input_dim,
+                n_layers,
+            } => write!(f, "h_bq_ae {input_dim} {n_layers}"),
+            ModelSpec::HBqVae {
+                input_dim,
+                n_layers,
+            } => write!(f, "h_bq_vae {input_dim} {n_layers}"),
+            ModelSpec::SqAe {
+                input_dim,
+                p,
+                n_layers,
+            } => write!(f, "sq_ae {input_dim} {p} {n_layers}"),
+            ModelSpec::SqVae {
+                input_dim,
+                p,
+                n_layers,
+            } => write!(f, "sq_vae {input_dim} {p} {n_layers}"),
+        }
+    }
+}
+
+impl std::str::FromStr for ModelSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut it = s.split_whitespace();
+        let kind = it.next().ok_or_else(|| "empty model spec".to_string())?;
+        let nums: Vec<usize> = it
+            .map(|t| {
+                t.parse::<usize>()
+                    .map_err(|_| format!("non-numeric field '{t}' in model spec '{s}'"))
+            })
+            .collect::<Result<_, _>>()?;
+        let want = |n: usize| -> Result<(), String> {
+            if nums.len() == n {
+                Ok(())
+            } else {
+                Err(format!(
+                    "model spec '{s}': expected {n} numeric fields, got {}",
+                    nums.len()
+                ))
+            }
+        };
+        match kind {
+            "classical_ae" => {
+                want(2)?;
+                Ok(ModelSpec::ClassicalAe {
+                    input_dim: nums[0],
+                    latent_dim: nums[1],
+                })
+            }
+            "classical_vae" => {
+                want(2)?;
+                Ok(ModelSpec::ClassicalVae {
+                    input_dim: nums[0],
+                    latent_dim: nums[1],
+                })
+            }
+            "f_bq_ae" => {
+                want(2)?;
+                Ok(ModelSpec::FBqAe {
+                    input_dim: nums[0],
+                    n_layers: nums[1],
+                })
+            }
+            "f_bq_vae" => {
+                want(2)?;
+                Ok(ModelSpec::FBqVae {
+                    input_dim: nums[0],
+                    n_layers: nums[1],
+                })
+            }
+            "h_bq_ae" => {
+                want(2)?;
+                Ok(ModelSpec::HBqAe {
+                    input_dim: nums[0],
+                    n_layers: nums[1],
+                })
+            }
+            "h_bq_vae" => {
+                want(2)?;
+                Ok(ModelSpec::HBqVae {
+                    input_dim: nums[0],
+                    n_layers: nums[1],
+                })
+            }
+            "sq_ae" => {
+                want(3)?;
+                Ok(ModelSpec::SqAe {
+                    input_dim: nums[0],
+                    p: nums[1],
+                    n_layers: nums[2],
+                })
+            }
+            "sq_vae" => {
+                want(3)?;
+                Ok(ModelSpec::SqVae {
+                    input_dim: nums[0],
+                    p: nums[1],
+                    n_layers: nums[2],
+                })
+            }
+            other => Err(format!("unknown model kind '{other}'")),
+        }
+    }
+}
+
 /// The paper's default quantum hidden-layer count for the baseline (§III-B).
 pub const BASELINE_LAYERS: usize = 3;
 
@@ -69,6 +331,10 @@ pub fn classical_ae(input_dim: usize, latent_dim: usize, rng: &mut impl Rng) -> 
         mlp_decoder(latent_dim, input_dim, rng),
     )
     .with_identity_latent_dim(latent_dim)
+    .with_spec(ModelSpec::ClassicalAe {
+        input_dim,
+        latent_dim,
+    })
 }
 
 /// Classical variational autoencoder (the paper's "VAE").
@@ -84,6 +350,10 @@ pub fn classical_vae(input_dim: usize, latent_dim: usize, rng: &mut impl Rng) ->
         )),
         mlp_decoder(latent_dim, input_dim, rng),
     )
+    .with_spec(ModelSpec::ClassicalVae {
+        input_dim,
+        latent_dim,
+    })
 }
 
 fn baseline_quantum_encoder(
@@ -125,6 +395,10 @@ pub fn f_bq_ae(input_dim: usize, n_layers: usize, rng: &mut impl Rng) -> Autoenc
     let dec = baseline_quantum_decoder(n_qubits, n_layers, rng);
     Autoencoder::new(format!("F-BQ-AE({input_dim}d)"), enc, Latent::Identity, dec)
         .with_identity_latent_dim(n_qubits)
+        .with_spec(ModelSpec::FBqAe {
+            input_dim,
+            n_layers,
+        })
 }
 
 /// Fully quantum baseline VAE (F-BQ-VAE): adds Gaussian latent heads.
@@ -142,6 +416,10 @@ pub fn f_bq_vae(input_dim: usize, n_layers: usize, rng: &mut impl Rng) -> Autoen
         )),
         dec,
     )
+    .with_spec(ModelSpec::FBqVae {
+        input_dim,
+        n_layers,
+    })
 }
 
 /// Hybrid baseline AE (H-BQ-AE): quantum halves plus a latent-width FC after
@@ -154,6 +432,10 @@ pub fn h_bq_ae(input_dim: usize, n_layers: usize, rng: &mut impl Rng) -> Autoenc
     dec.push_classical(Linear::new(1 << n_qubits, input_dim, rng));
     Autoencoder::new(format!("H-BQ-AE({input_dim}d)"), enc, Latent::Identity, dec)
         .with_identity_latent_dim(n_qubits)
+        .with_spec(ModelSpec::HBqAe {
+            input_dim,
+            n_layers,
+        })
 }
 
 /// Hybrid baseline VAE (H-BQ-VAE).
@@ -173,6 +455,10 @@ pub fn h_bq_vae(input_dim: usize, n_layers: usize, rng: &mut impl Rng) -> Autoen
         )),
         dec,
     )
+    .with_spec(ModelSpec::HBqVae {
+        input_dim,
+        n_layers,
+    })
 }
 
 /// Scalable quantum AE (SQ-AE) with `p` patched sub-circuits (§III-C):
@@ -195,6 +481,11 @@ pub fn sq_ae(input_dim: usize, p: usize, n_layers: usize, rng: &mut impl Rng) ->
         dec,
     )
     .with_identity_latent_dim(lsd)
+    .with_spec(ModelSpec::SqAe {
+        input_dim,
+        p,
+        n_layers,
+    })
 }
 
 /// Scalable quantum VAE (SQ-VAE) with `p` patched sub-circuits.
@@ -214,6 +505,11 @@ pub fn sq_vae(input_dim: usize, p: usize, n_layers: usize, rng: &mut impl Rng) -
         Latent::Gaussian(GaussianLatent::new(lsd, lsd, DEFAULT_KL_WEIGHT, rng)),
         dec,
     )
+    .with_spec(ModelSpec::SqVae {
+        input_dim,
+        p,
+        n_layers,
+    })
 }
 
 #[cfg(test)]
@@ -320,5 +616,44 @@ mod tests {
         let mut r = rng();
         assert!(sq_vae(1024, 8, 1, &mut r).name.contains("lsd=56"));
         assert!(classical_ae(64, 6, &mut r).name.contains("lsd=6"));
+    }
+
+    #[test]
+    fn every_factory_stamps_a_spec_that_round_trips_as_text() {
+        let mut r = rng();
+        let models = [
+            classical_ae(16, 3, &mut r),
+            classical_vae(16, 3, &mut r),
+            f_bq_ae(16, 2, &mut r),
+            f_bq_vae(16, 2, &mut r),
+            h_bq_ae(16, 2, &mut r),
+            h_bq_vae(16, 2, &mut r),
+            sq_ae(16, 2, 2, &mut r),
+            sq_vae(16, 2, 2, &mut r),
+        ];
+        for m in models {
+            let spec = m.spec().expect("factory must stamp a spec");
+            assert_eq!(spec.input_dim(), 16, "{}", m.name);
+            let parsed: ModelSpec = spec.to_string().parse().unwrap();
+            assert_eq!(parsed, spec, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn spec_build_reproduces_the_factory_architecture() {
+        let mut r1 = rng();
+        let mut r2 = rng();
+        let mut direct = sq_vae(16, 2, 2, &mut r1);
+        let mut rebuilt = direct.spec().unwrap().build(&mut r2);
+        assert_eq!(direct.name, rebuilt.name);
+        assert_eq!(direct.parameter_count(), rebuilt.parameter_count());
+        assert_eq!(direct.latent_dim(), rebuilt.latent_dim());
+    }
+
+    #[test]
+    fn bad_spec_strings_are_rejected() {
+        for bad in ["", "warp_ae 4 2", "sq_vae 4", "sq_vae a b c"] {
+            assert!(bad.parse::<ModelSpec>().is_err(), "{bad:?}");
+        }
     }
 }

@@ -35,6 +35,11 @@ pub struct SampledMolecules {
 /// (pass the training set's mean L1 norm); hybrid/scalable models output
 /// original-scale codes and take `None`.
 ///
+/// `n == 0` is an explicit empty result — no molecules, `attempted: 0`, and
+/// a validity of 0.0 (not a 0/0; earlier versions divided by `n.max(1)`,
+/// quietly reporting a fraction over samples that were never drawn). The
+/// RNG is untouched in that case.
+///
 /// # Errors
 ///
 /// Returns shape errors from the decoder.
@@ -45,6 +50,14 @@ pub fn sample_molecules(
     rescale: Option<f64>,
     rng: &mut impl Rng,
 ) -> Result<SampledMolecules, NnError> {
+    if n == 0 {
+        return Ok(SampledMolecules {
+            molecules: Vec::new(),
+            validity: 0.0,
+            properties: mean_properties(std::iter::empty()),
+            attempted: 0,
+        });
+    }
     let features = model.sample(n, rng)?;
     let mut molecules = Vec::new();
     let mut valid = 0usize;
@@ -70,7 +83,7 @@ pub fn sample_molecules(
     }
     let properties = mean_properties(molecules.iter());
     Ok(SampledMolecules {
-        validity: valid as f64 / n.max(1) as f64,
+        validity: valid as f64 / n as f64,
         properties,
         molecules,
         attempted: n,
@@ -203,6 +216,20 @@ mod tests {
         let out1 = sample_molecules(&mut m1, 5, 8, None, &mut StdRng::seed_from_u64(9)).unwrap();
         let out2 = sample_molecules(&mut m2, 5, 8, None, &mut StdRng::seed_from_u64(9)).unwrap();
         assert_eq!(out1.molecules, out2.molecules);
+    }
+
+    #[test]
+    fn zero_samples_is_an_explicit_empty_result() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut model = models::sq_vae(64, 2, 1, &mut rng);
+        let mut srng = StdRng::seed_from_u64(8);
+        let out = sample_molecules(&mut model, 0, 8, None, &mut srng).unwrap();
+        assert_eq!(out.attempted, 0);
+        assert!(out.molecules.is_empty());
+        assert_eq!(out.validity, 0.0, "no samples drawn, none were valid");
+        // The RNG must be untouched — nothing was decoded.
+        use rand::RngCore;
+        assert_eq!(srng.next_u64(), StdRng::seed_from_u64(8).next_u64());
     }
 
     #[test]

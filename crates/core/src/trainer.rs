@@ -6,6 +6,7 @@
 //! any other combination.
 
 use crate::autoencoder::Autoencoder;
+use crate::checkpoint::ParamSnapshot;
 use crate::hybrid::ParamGroup;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -109,6 +110,11 @@ pub struct History {
     pub model: String,
     /// Per-epoch records, in order.
     pub records: Vec<EpochRecord>,
+    /// The epoch whose weights the model carries after training, when
+    /// best-weight tracking was active (early stopping with a test set):
+    /// the epoch with the lowest test MSE. `None` when tracking was off —
+    /// the model simply holds the last epoch's weights.
+    pub best_epoch: Option<usize>,
 }
 
 impl History {
@@ -225,6 +231,16 @@ impl Trainer {
 
     /// Runs the full training loop, returning the per-epoch history.
     ///
+    /// With early stopping active (a patience *and* a test set), the model
+    /// is left holding the weights of the **best-test-MSE epoch**, not the
+    /// last epoch trained — the stop fires only after `patience` epochs of
+    /// no improvement, so the final weights would otherwise always be
+    /// stale. [`History::best_epoch`] records which epoch that was.
+    ///
+    /// On every exit the KL warm-up scale is reset to 1.0, so a model whose
+    /// run ended mid-ramp (few epochs, or an early stop) does not keep
+    /// training with a silently down-weighted KL term on the next run.
+    ///
     /// # Errors
     ///
     /// Returns shape/optimizer errors from the underlying stages.
@@ -237,10 +253,12 @@ impl Trainer {
         let mut history = History {
             model: model.name.clone(),
             records: Vec::with_capacity(self.config.epochs),
+            best_epoch: None,
         };
         model.set_exec_policy(self.config.exec_policy());
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut best_test = f64::INFINITY;
+        // (epoch, test MSE, weights) of the best epoch seen so far.
+        let mut best: Option<(usize, f64, ParamSnapshot)> = None;
         let mut stale_epochs = 0usize;
         for epoch in 0..self.config.epochs {
             if self.config.kl_warmup_epochs > 0 {
@@ -288,8 +306,9 @@ impl Trainer {
                 test_mse,
             });
             if let (Some(patience), Some(t)) = (self.config.early_stop_patience, test_mse) {
-                if t < best_test - 1e-12 {
-                    best_test = t;
+                let improved = best.as_ref().map_or(true, |(_, b, _)| t < *b - 1e-12);
+                if improved {
+                    best = Some((epoch, t, ParamSnapshot::capture(model)));
                     stale_epochs = 0;
                 } else {
                     stale_epochs += 1;
@@ -298,6 +317,16 @@ impl Trainer {
                     }
                 }
             }
+        }
+        if let Some((epoch, _, snap)) = best {
+            history.best_epoch = Some(epoch);
+            if history.records.last().map(|r| r.epoch) != Some(epoch) {
+                snap.restore(model)
+                    .expect("snapshot was captured from this very model");
+            }
+        }
+        if self.config.kl_warmup_epochs > 0 {
+            model.set_kl_scale(1.0);
         }
         Ok(history)
     }
@@ -421,6 +450,7 @@ mod tests {
         let mut hist = History {
             model: "m".into(),
             records: vec![],
+            best_epoch: None,
         };
         assert!(hist.final_train_mse().is_none());
         hist.records.push(EpochRecord {
@@ -582,6 +612,7 @@ mod tests {
                     test_mse: None,
                 },
             ],
+            best_epoch: None,
         };
         let csv = hist.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
@@ -605,6 +636,85 @@ mod tests {
         assert!(hist.final_train_mse().unwrap().is_finite());
         // With the weight ramping in, the KL term is reported every epoch.
         assert!(hist.records.iter().all(|r| r.train_kl >= 0.0));
+    }
+
+    #[test]
+    fn early_stop_leaves_the_model_at_its_best_epoch() {
+        // An aggressive learning rate makes the test loss oscillate, so the
+        // stop fires with the live weights *worse* than the best epoch's.
+        // After train() returns, evaluating the model on the test set must
+        // reproduce the best recorded test MSE exactly — the weights were
+        // restored bit-for-bit — and best_epoch must name that epoch.
+        let data = toy_dataset(32, 8, 60);
+        let (train, test) = data.shuffle_split(0.75, 0);
+        let mut rng = StdRng::seed_from_u64(61);
+        let mut model = models::classical_ae(8, 2, &mut rng);
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 30,
+            batch_size: 8,
+            classical_lr: 0.5,
+            early_stop_patience: Some(2),
+            ..TrainConfig::default()
+        });
+        let hist = trainer.train(&mut model, &train, Some(&test)).unwrap();
+        let best_epoch = hist.best_epoch.expect("tracking was active");
+        let best_mse = hist.at_epoch(best_epoch).unwrap().test_mse.unwrap();
+        // best_epoch is the argmin of the recorded test losses.
+        for r in &hist.records {
+            assert!(best_mse <= r.test_mse.unwrap() + 1e-12);
+        }
+        let now = Trainer::evaluate_batched(&mut model, &test, 8).unwrap();
+        assert_eq!(
+            now.to_bits(),
+            best_mse.to_bits(),
+            "model must carry the best epoch's weights, not the last's"
+        );
+    }
+
+    #[test]
+    fn best_epoch_is_none_without_early_stopping() {
+        let data = toy_dataset(8, 4, 62);
+        let mut rng = StdRng::seed_from_u64(63);
+        let mut model = models::classical_ae(4, 2, &mut rng);
+        let hist = Trainer::new(quick_config(2))
+            .train(&mut model, &data, None)
+            .unwrap();
+        assert_eq!(hist.best_epoch, None);
+    }
+
+    #[test]
+    fn kl_scale_is_reset_when_the_run_ends_mid_warmup() {
+        // Fewer epochs than warm-up epochs: the last epoch sets the scale
+        // to epochs/warmup < 1. Without the exit reset, the model would
+        // carry that down-weighted KL into any later training run.
+        let data = toy_dataset(16, 8, 64);
+        let mut rng = StdRng::seed_from_u64(65);
+        let mut model = models::classical_vae(8, 2, &mut rng);
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            kl_warmup_epochs: 10,
+            ..TrainConfig::default()
+        });
+        trainer.train(&mut model, &data, None).unwrap();
+        assert_eq!(model.kl_scale(), 1.0);
+
+        // Early stop mid-ramp leaks the same way: frozen learning rates
+        // make epoch 1 stale, stopping at scale 2/10 before the fix.
+        let (train, test) = data.shuffle_split(0.5, 0);
+        let mut model = models::classical_vae(8, 2, &mut rng);
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 20,
+            batch_size: 8,
+            quantum_lr: 0.0,
+            classical_lr: 0.0,
+            kl_warmup_epochs: 10,
+            early_stop_patience: Some(1),
+            ..TrainConfig::default()
+        });
+        let hist = trainer.train(&mut model, &train, Some(&test)).unwrap();
+        assert!(hist.records.len() < 20, "the stop must have fired");
+        assert_eq!(model.kl_scale(), 1.0);
     }
 
     #[test]

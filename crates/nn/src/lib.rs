@@ -51,6 +51,7 @@ pub mod exec;
 pub mod init;
 pub mod loss;
 pub mod parallel;
+pub mod serialize;
 
 pub use activation::{Activation, ActivationKind};
 pub use backend::BackendKind;

@@ -25,9 +25,12 @@ use crate::module::{Module, ParamTensor};
 /// assert_eq!(z.shape(), (4, 6));
 /// # Ok::<(), sqvae_nn::NnError>(())
 /// ```
+///
+/// Layers are boxed as `dyn Module + Send`, so a built stack can move onto
+/// a worker thread (the inference service serves warm models that way).
 #[derive(Default)]
 pub struct Sequential {
-    layers: Vec<Box<dyn Module>>,
+    layers: Vec<Box<dyn Module + Send>>,
 }
 
 impl std::fmt::Debug for Sequential {
@@ -45,12 +48,12 @@ impl Sequential {
     }
 
     /// Appends a layer.
-    pub fn push(&mut self, layer: impl Module + 'static) {
+    pub fn push(&mut self, layer: impl Module + Send + 'static) {
         self.layers.push(Box::new(layer));
     }
 
     /// Appends a boxed layer (for dynamically built stacks).
-    pub fn push_boxed(&mut self, layer: Box<dyn Module>) {
+    pub fn push_boxed(&mut self, layer: Box<dyn Module + Send>) {
         self.layers.push(layer);
     }
 

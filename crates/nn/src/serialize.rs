@@ -1,0 +1,212 @@
+//! Binary serialization primitives for tensors.
+//!
+//! The checkpoint format (``sqvae_core::checkpoint``) persists trained
+//! parameter tensors; the encoding lives here, next to [`Matrix`], so the
+//! byte layout of a tensor is owned by the crate that owns the type.
+//!
+//! Everything is little-endian and exact: `f64` values travel as their IEEE
+//! bit patterns (`to_bits`/`from_bits`), so a save → load round trip is
+//! bit-identical — no decimal formatting is ever involved. Readers validate
+//! lengths before allocating, so corrupt or truncated streams produce
+//! [`std::io::Error`]s (kind `UnexpectedEof` / `InvalidData`), never panics
+//! or unbounded allocations.
+
+use crate::matrix::Matrix;
+use std::io::{self, Read, Write};
+
+/// Upper bound on the element count of a deserialized matrix (2^26 ≈ 67M
+/// doubles ≈ 512 MiB) — a sanity cap so a corrupt header cannot trigger an
+/// enormous allocation.
+pub const MAX_MATRIX_ELEMS: usize = 1 << 26;
+
+/// Upper bound on the byte length of a deserialized string.
+pub const MAX_STRING_BYTES: usize = 1 << 16;
+
+/// Writes a `u32` as 4 little-endian bytes.
+///
+/// # Errors
+///
+/// Propagates writer errors.
+pub fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Reads a `u32` from 4 little-endian bytes.
+///
+/// # Errors
+///
+/// Propagates reader errors (`UnexpectedEof` on truncation).
+pub fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Writes a `u64` as 8 little-endian bytes.
+///
+/// # Errors
+///
+/// Propagates writer errors.
+pub fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Reads a `u64` from 8 little-endian bytes.
+///
+/// # Errors
+///
+/// Propagates reader errors (`UnexpectedEof` on truncation).
+pub fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Writes a UTF-8 string as a `u32` byte length followed by the bytes.
+///
+/// # Errors
+///
+/// Returns `InvalidData` when the string exceeds [`MAX_STRING_BYTES`];
+/// propagates writer errors.
+pub fn write_string(w: &mut impl Write, s: &str) -> io::Result<()> {
+    if s.len() > MAX_STRING_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("string of {} bytes exceeds the serialization cap", s.len()),
+        ));
+    }
+    write_u32(w, s.len() as u32)?;
+    w.write_all(s.as_bytes())
+}
+
+/// Reads a string written by [`write_string`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` for over-long lengths or invalid UTF-8;
+/// `UnexpectedEof` on truncation.
+pub fn read_string(r: &mut impl Read) -> io::Result<String> {
+    let len = read_u32(r)? as usize;
+    if len > MAX_STRING_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("string length {len} exceeds the serialization cap"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "string is not valid UTF-8"))
+}
+
+/// Writes a matrix as `rows: u32`, `cols: u32`, then `rows·cols` IEEE-754
+/// bit patterns (`u64` little-endian, row-major).
+///
+/// # Errors
+///
+/// Propagates writer errors.
+pub fn write_matrix(w: &mut impl Write, m: &Matrix) -> io::Result<()> {
+    write_u32(w, m.rows() as u32)?;
+    write_u32(w, m.cols() as u32)?;
+    for &v in m.as_slice() {
+        write_u64(w, v.to_bits())?;
+    }
+    Ok(())
+}
+
+/// Reads a matrix written by [`write_matrix`], bit-identically.
+///
+/// # Errors
+///
+/// Returns `InvalidData` when the header describes more than
+/// [`MAX_MATRIX_ELEMS`] elements; `UnexpectedEof` on truncation.
+pub fn read_matrix(r: &mut impl Read) -> io::Result<Matrix> {
+    let rows = read_u32(r)? as usize;
+    let cols = read_u32(r)? as usize;
+    let elems = rows.checked_mul(cols).filter(|&n| n <= MAX_MATRIX_ELEMS);
+    let Some(elems) = elems else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("matrix shape {rows}x{cols} exceeds the serialization cap"),
+        ));
+    };
+    let mut data = Vec::with_capacity(elems);
+    for _ in 0..elems {
+        data.push(f64::from_bits(read_u64(r)?));
+    }
+    Matrix::from_vec(rows, cols, data)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "matrix shape mismatch"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        let mut buf = Vec::new();
+        write_u32(&mut buf, 7).unwrap();
+        write_u64(&mut buf, u64::MAX - 3).unwrap();
+        write_string(&mut buf, "héllo").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_u32(&mut r).unwrap(), 7);
+        assert_eq!(read_u64(&mut r).unwrap(), u64::MAX - 3);
+        assert_eq!(read_string(&mut r).unwrap(), "héllo");
+    }
+
+    #[test]
+    fn matrix_round_trip_is_bit_identical() {
+        // Include values that decimal formatting would mangle.
+        let m = Matrix::from_fn(3, 4, |r, c| {
+            ((r * 4 + c) as f64).exp() * 1e-7 + f64::EPSILON * r as f64
+        });
+        let mut buf = Vec::new();
+        write_matrix(&mut buf, &m).unwrap();
+        let back = read_matrix(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.shape(), m.shape());
+        for (a, b) in m.as_slice().iter().zip(back.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn special_values_survive() {
+        let m = Matrix::from_vec(
+            1,
+            4,
+            vec![f64::NEG_INFINITY, -0.0, f64::MIN_POSITIVE, 1.0 / 3.0],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_matrix(&mut buf, &m).unwrap();
+        let back = read_matrix(&mut buf.as_slice()).unwrap();
+        for (a, b) in m.as_slice().iter().zip(back.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error_not_a_panic() {
+        let mut buf = Vec::new();
+        write_matrix(&mut buf, &Matrix::filled(2, 2, 1.5)).unwrap();
+        for cut in [1, 4, 9, buf.len() - 1] {
+            let err = read_matrix(&mut &buf[..cut]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_headers_are_rejected_before_allocating() {
+        // A matrix header claiming u32::MAX × u32::MAX elements.
+        let mut buf = Vec::new();
+        write_u32(&mut buf, u32::MAX).unwrap();
+        write_u32(&mut buf, u32::MAX).unwrap();
+        let err = read_matrix(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Same for strings.
+        let mut buf = Vec::new();
+        write_u32(&mut buf, u32::MAX).unwrap();
+        let err = read_string(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -46,6 +46,10 @@ pub enum QuantumError {
         /// Requested number of qubits.
         n_qubits: usize,
     },
+    /// A trajectory average was requested over zero trajectories — there is
+    /// no mean of an empty sample, and silently substituting one run would
+    /// misreport the caller's requested precision.
+    ZeroTrajectories,
 }
 
 impl fmt::Display for QuantumError {
@@ -80,6 +84,9 @@ impl fmt::Display for QuantumError {
                     f,
                     "unsupported register size of {n_qubits} qubits (must be 1..=24)"
                 )
+            }
+            QuantumError::ZeroTrajectories => {
+                write!(f, "cannot average expectations over zero trajectories")
             }
         }
     }

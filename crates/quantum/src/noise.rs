@@ -81,7 +81,10 @@ pub fn run_trajectory(
 ///
 /// # Errors
 ///
-/// Returns circuit-execution errors.
+/// Returns [`crate::error::QuantumError::ZeroTrajectories`] when
+/// `n_trajectories == 0` (an empty sample has no mean; earlier versions
+/// silently ran one trajectory instead), and circuit-execution errors
+/// otherwise.
 pub fn noisy_expectations_z(
     circuit: &Circuit,
     params: &[f64],
@@ -91,15 +94,18 @@ pub fn noisy_expectations_z(
     n_trajectories: usize,
     rng: &mut impl Rng,
 ) -> Result<Vec<f64>> {
+    if n_trajectories == 0 {
+        return Err(crate::error::QuantumError::ZeroTrajectories);
+    }
     let n = circuit.n_qubits();
     let mut acc = vec![0.0; n];
-    for _ in 0..n_trajectories.max(1) {
+    for _ in 0..n_trajectories {
         let state = run_trajectory(circuit, params, inputs, initial, noise, rng)?;
         for (a, w) in acc.iter_mut().zip(0..n) {
             *a += state.expectation_z(w)?;
         }
     }
-    let inv = 1.0 / n_trajectories.max(1) as f64;
+    let inv = 1.0 / n_trajectories as f64;
     Ok(acc.into_iter().map(|a| a * inv).collect())
 }
 
@@ -200,5 +206,18 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn rejects_invalid_probability() {
         NoiseModel::depolarizing(1.5);
+    }
+
+    #[test]
+    fn zero_trajectories_is_a_typed_error_not_a_silent_clamp() {
+        let (c, params) = test_circuit();
+        let mut rng = StdRng::seed_from_u64(5);
+        let err =
+            noisy_expectations_z(&c, &params, &[], None, NoiseModel::noiseless(), 0, &mut rng)
+                .unwrap_err();
+        assert_eq!(err, crate::error::QuantumError::ZeroTrajectories);
+        // The RNG must be untouched: no hidden trajectory ran.
+        use rand::RngCore;
+        assert_eq!(rng.next_u64(), StdRng::seed_from_u64(5).next_u64());
     }
 }

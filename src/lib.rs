@@ -14,6 +14,8 @@
 //!   generators (`sqvae-datasets`).
 //! * [`core`] — the autoencoder model zoo, trainer, and sampling pipeline
 //!   (`sqvae-core`).
+//! * [`serve`] — batched inference over saved checkpoints: request
+//!   coalescing, warm-model registry, bounded-queue backpressure.
 //!
 //! ## Quickstart
 //!
@@ -34,6 +36,8 @@
 //! ```
 
 #![warn(missing_docs)]
+
+pub mod serve;
 
 pub use sqvae_chem as chem;
 pub use sqvae_core as core;

@@ -1,0 +1,900 @@
+//! Long-running batched inference over checkpointed models.
+//!
+//! The training pipeline produces checkpoints ([`sqvae_core::checkpoint`]);
+//! this module serves them. Two layers:
+//!
+//! * [`BatchEngine`] — a synchronous core: a warm-model registry keyed by
+//!   checkpoint path, a request queue, and a coalescer that merges single
+//!   `encode` / `decode` / `sample` / `reconstruct` requests targeting the
+//!   same model into one batched forward pass. Every model call is
+//!   row-independent (the quantum layers shard batch rows via `map_rows`
+//!   with a bit-identical guarantee), so a coalesced batch returns exactly
+//!   the bytes the same requests would produce one at a time.
+//! * [`InferenceServer`] — a worker thread wrapping the engine: bounded
+//!   submission queue (typed [`ServeError::QueueFull`] backpressure when
+//!   it overflows), blocking [`InferenceServer::request`] round trips, a
+//!   maintenance [`InferenceServer::pause`], and a graceful
+//!   [`InferenceServer::shutdown`] that drains in-flight work before the
+//!   thread exits.
+//!
+//! Sampling stays deterministic under coalescing because each `sample`
+//! request carries its own seed: the engine draws that request's latent
+//! rows from a fresh `StdRng::seed_from_u64(seed)` — the same stream a
+//! direct [`sqvae_core::Autoencoder::sample`] call would consume — and only
+//! the decoder pass is shared.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use sqvae::serve::{InferenceServer, Op, Request, ServerConfig};
+//!
+//! # fn main() -> Result<(), sqvae::serve::ServeError> {
+//! let server = InferenceServer::start(ServerConfig::default());
+//! let sampled = server.request(Request {
+//!     model: "model.ckpt".into(),
+//!     op: Op::Sample { n: 4, seed: 7 },
+//! })?;
+//! println!("sampled {} molecules-worth of features", sampled.rows());
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sqvae_core::checkpoint::{self, Checkpoint};
+use sqvae_core::Autoencoder;
+use sqvae_nn::{Matrix, NnError};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Errors surfaced by the inference service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The submission queue is at capacity; retry after in-flight work
+    /// drains. This is the backpressure signal — the server never buffers
+    /// unboundedly.
+    QueueFull {
+        /// The configured queue capacity that was hit.
+        capacity: usize,
+    },
+    /// The server is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// The worker thread is gone (panicked) before answering this request.
+    WorkerGone,
+    /// A request carried no rows to process (`n == 0` or an empty matrix).
+    EmptyRequest,
+    /// The referenced checkpoint could not be loaded (message from
+    /// [`sqvae_core::checkpoint::CheckpointError`]).
+    Checkpoint(String),
+    /// The model rejected the payload (shape mismatch etc.).
+    Model(NnError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "submission queue is full (capacity {capacity})")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::WorkerGone => write!(f, "worker thread exited before answering"),
+            ServeError::EmptyRequest => write!(f, "request carries no rows"),
+            ServeError::Checkpoint(msg) => write!(f, "checkpoint load failed: {msg}"),
+            ServeError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<NnError> for ServeError {
+    fn from(e: NnError) -> Self {
+        ServeError::Model(e)
+    }
+}
+
+/// One inference operation on a model.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Map data rows to latent codes (VAEs: the posterior mean).
+    Encode(Matrix),
+    /// Decode latent rows into data space.
+    Decode(Matrix),
+    /// Evaluation-mode round trip (encode → decode).
+    Reconstruct(Matrix),
+    /// Draw `n` fresh samples by decoding `z ~ N(0, I)` drawn from
+    /// `StdRng::seed_from_u64(seed)` — bit-identical to a direct
+    /// [`sqvae_core::Autoencoder::sample`] call with that RNG.
+    Sample {
+        /// Number of samples to draw.
+        n: usize,
+        /// Seed for this request's latent draws.
+        seed: u64,
+    },
+}
+
+impl Op {
+    /// Number of output rows this op will produce (and the coalescer's
+    /// row-budget cost).
+    fn rows(&self) -> usize {
+        match self {
+            Op::Encode(m) | Op::Decode(m) | Op::Reconstruct(m) => m.rows(),
+            Op::Sample { n, .. } => *n,
+        }
+    }
+
+    /// Coalescing key: ops merge into one batch only when the kind and the
+    /// payload width agree (widths always agree for same-kind ops on one
+    /// model, but a mis-sized payload must not poison its batchmates).
+    fn kind_and_width(&self) -> (u8, usize) {
+        match self {
+            Op::Encode(m) => (0, m.cols()),
+            Op::Decode(m) => (1, m.cols()),
+            Op::Reconstruct(m) => (2, m.cols()),
+            Op::Sample { .. } => (3, 0),
+        }
+    }
+}
+
+/// A request: which checkpoint to serve, and what to do.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Path of the checkpoint file; the engine loads it on first use and
+    /// keeps the model warm for subsequent requests.
+    pub model: String,
+    /// The operation to run.
+    pub op: Op,
+}
+
+/// Handle for retrieving one request's result from a [`BatchEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ticket(u64);
+
+/// Counters describing what an engine did, for observability and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Requests completed (successfully or with an error).
+    pub requests: usize,
+    /// Model forward passes executed. `requests > batches` means
+    /// coalescing merged work.
+    pub batches: usize,
+    /// Total rows pushed through model forward passes.
+    pub rows: usize,
+    /// Largest number of requests merged into one batch.
+    pub largest_batch_requests: usize,
+}
+
+struct Job {
+    ticket: Ticket,
+    model: String,
+    op: Op,
+}
+
+/// The synchronous batching core: queue, coalescer, and warm-model
+/// registry. Single-threaded by design — [`InferenceServer`] provides the
+/// concurrency wrapper — which keeps the coalescing logic deterministic and
+/// directly testable.
+pub struct BatchEngine {
+    models: HashMap<String, Autoencoder>,
+    queue: VecDeque<Job>,
+    results: HashMap<Ticket, Result<Matrix, ServeError>>,
+    next_ticket: u64,
+    max_batch_rows: usize,
+    stats: EngineStats,
+}
+
+impl std::fmt::Debug for BatchEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchEngine")
+            .field("warm_models", &self.models.len())
+            .field("pending", &self.queue.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl BatchEngine {
+    /// An empty engine whose coalesced batches hold at most
+    /// `max_batch_rows` rows (sized to the `map_rows` sharding sweet spot).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_batch_rows == 0`.
+    pub fn new(max_batch_rows: usize) -> Self {
+        assert!(max_batch_rows > 0, "batch row budget must be positive");
+        BatchEngine {
+            models: HashMap::new(),
+            queue: VecDeque::new(),
+            results: HashMap::new(),
+            next_ticket: 0,
+            max_batch_rows,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Queues a request; [`BatchEngine::drain`] (or repeated
+    /// [`BatchEngine::process_next_batch`]) executes it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::EmptyRequest`] when the request carries zero rows.
+    pub fn submit(&mut self, req: Request) -> Result<Ticket, ServeError> {
+        if req.op.rows() == 0 {
+            return Err(ServeError::EmptyRequest);
+        }
+        let ticket = Ticket(self.next_ticket);
+        self.next_ticket += 1;
+        self.queue.push_back(Job {
+            ticket,
+            model: req.model,
+            op: req.op,
+        });
+        Ok(ticket)
+    }
+
+    /// Number of queued, not-yet-processed requests.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Removes and returns the result for `ticket`, if its batch has run.
+    pub fn take_result(&mut self, ticket: Ticket) -> Option<Result<Matrix, ServeError>> {
+        self.results.remove(&ticket)
+    }
+
+    /// Processes every queued request.
+    pub fn drain(&mut self) {
+        while !self.queue.is_empty() {
+            self.process_next_batch();
+        }
+    }
+
+    /// Coalesces the front request with every queued request sharing its
+    /// (model, op kind, width) key — up to the row budget — and runs them
+    /// as one batched forward pass. Returns the number of requests
+    /// completed (0 when the queue is empty).
+    pub fn process_next_batch(&mut self) -> usize {
+        let Some(first) = self.queue.pop_front() else {
+            return 0;
+        };
+        let key = (first.model.clone(), first.op.kind_and_width());
+        let mut batch = vec![first];
+        let mut rows = batch[0].op.rows();
+        // Pull every same-key job that still fits the row budget; different
+        // keys stay queued in order for later batches.
+        let mut kept = VecDeque::with_capacity(self.queue.len());
+        while let Some(job) = self.queue.pop_front() {
+            let fits = rows + job.op.rows() <= self.max_batch_rows;
+            if fits && job.model == key.0 && job.op.kind_and_width() == key.1 {
+                rows += job.op.rows();
+                batch.push(job);
+            } else {
+                kept.push_back(job);
+            }
+        }
+        self.queue = kept;
+
+        let completed = batch.len();
+        self.stats.requests += completed;
+        self.stats.largest_batch_requests = self.stats.largest_batch_requests.max(completed);
+        match self.run_batch(&batch) {
+            Ok(outputs) => {
+                self.stats.batches += 1;
+                self.stats.rows += rows;
+                for (job, out) in batch.iter().zip(outputs) {
+                    self.results.insert(job.ticket, Ok(out));
+                }
+            }
+            Err(e) => {
+                for job in &batch {
+                    self.results.insert(job.ticket, Err(e.clone()));
+                }
+            }
+        }
+        completed
+    }
+
+    /// Runs one coalesced batch: stacks every job's rows, executes a single
+    /// model pass, and splits the output back per job.
+    fn run_batch(&mut self, batch: &[Job]) -> Result<Vec<Matrix>, ServeError> {
+        let path = &batch[0].model;
+        if !self.models.contains_key(path) {
+            let model =
+                checkpoint::load_model(path).map_err(|e| ServeError::Checkpoint(e.to_string()))?;
+            self.models.insert(path.clone(), model);
+        }
+        let model = self.models.get_mut(path).expect("just inserted");
+
+        // Per-request latent draws for Sample jobs: each consumes exactly
+        // the RNG stream its direct `sample` call would, so only the decode
+        // is shared.
+        let inputs: Vec<Matrix> = batch
+            .iter()
+            .map(|job| match &job.op {
+                Op::Encode(m) | Op::Decode(m) | Op::Reconstruct(m) => m.clone(),
+                Op::Sample { n, seed } => {
+                    model.sample_latent(*n, &mut StdRng::seed_from_u64(*seed))
+                }
+            })
+            .collect();
+        let stacked = Matrix::vstack(&inputs)?;
+        let output = match &batch[0].op {
+            Op::Encode(_) => model.encode(&stacked)?,
+            Op::Decode(_) | Op::Sample { .. } => model.decode(&stacked)?,
+            Op::Reconstruct(_) => model.reconstruct(&stacked)?,
+        };
+
+        let mut outputs = Vec::with_capacity(batch.len());
+        let mut start = 0usize;
+        for job in batch {
+            let n = job.op.rows();
+            outputs.push(Matrix::from_fn(n, output.cols(), |r, c| {
+                output.get(start + r, c)
+            }));
+            start += n;
+        }
+        Ok(outputs)
+    }
+
+    /// Number of models currently held warm.
+    pub fn warm_models(&self) -> usize {
+        self.models.len()
+    }
+}
+
+/// Configuration for [`InferenceServer::start`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Maximum queued (accepted, unprocessed) requests before
+    /// [`ServeError::QueueFull`] backpressure kicks in.
+    pub capacity: usize,
+    /// Row budget per coalesced batch (see [`BatchEngine::new`]).
+    pub max_batch_rows: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            capacity: 256,
+            max_batch_rows: 64,
+        }
+    }
+}
+
+#[derive(Default)]
+struct ServerState {
+    queue: VecDeque<(u64, Request)>,
+    results: HashMap<u64, Result<Matrix, ServeError>>,
+    next_id: u64,
+    paused: bool,
+    shutting_down: bool,
+    worker_done: bool,
+    final_stats: Option<EngineStats>,
+}
+
+struct Shared {
+    state: Mutex<ServerState>,
+    /// Wakes the worker (new work, resume, shutdown).
+    work_cv: Condvar,
+    /// Wakes clients blocked on results.
+    done_cv: Condvar,
+}
+
+/// A worker thread serving batched inference over a [`BatchEngine`].
+///
+/// Submissions are bounded by [`ServerConfig::capacity`]; the worker steals
+/// the whole queue at once, coalesces it, runs it, and publishes results.
+/// [`InferenceServer::shutdown`] drains everything already accepted before
+/// the thread exits.
+pub struct InferenceServer {
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<()>>,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for InferenceServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InferenceServer")
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl InferenceServer {
+    /// Spawns the worker thread and returns the handle clients submit to.
+    pub fn start(config: ServerConfig) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(ServerState::default()),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let max_batch_rows = config.max_batch_rows;
+        let worker = std::thread::spawn(move || {
+            let mut engine = BatchEngine::new(max_batch_rows);
+            let mut guard = worker_shared.state.lock().expect("server lock");
+            loop {
+                if (guard.queue.is_empty() || guard.paused) && !guard.shutting_down {
+                    guard = worker_shared.work_cv.wait(guard).expect("server lock");
+                    continue;
+                }
+                if guard.queue.is_empty() && guard.shutting_down {
+                    break;
+                }
+                // Steal the accepted queue and run it without the lock, so
+                // clients keep submitting (and hitting backpressure) while
+                // the batch executes.
+                let stolen: Vec<(u64, Request)> = guard.queue.drain(..).collect();
+                drop(guard);
+                let mut tickets = Vec::with_capacity(stolen.len());
+                let mut rejected = Vec::new();
+                for (id, req) in stolen {
+                    match engine.submit(req) {
+                        Ok(t) => tickets.push((id, t)),
+                        Err(e) => rejected.push((id, e)),
+                    }
+                }
+                engine.drain();
+                guard = worker_shared.state.lock().expect("server lock");
+                for (id, t) in tickets {
+                    let result = engine
+                        .take_result(t)
+                        .expect("drained engine has every result");
+                    guard.results.insert(id, result);
+                }
+                for (id, e) in rejected {
+                    guard.results.insert(id, Err(e));
+                }
+                worker_shared.done_cv.notify_all();
+            }
+            guard.worker_done = true;
+            guard.final_stats = Some(engine.stats());
+            worker_shared.done_cv.notify_all();
+        });
+        InferenceServer {
+            shared,
+            worker: Some(worker),
+            capacity: config.capacity,
+        }
+    }
+
+    /// Queues a request, returning an id for [`InferenceServer::wait`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::QueueFull`] when the bounded queue is at capacity
+    /// (backpressure — retry later), [`ServeError::ShuttingDown`] after
+    /// [`InferenceServer::shutdown`] began, [`ServeError::EmptyRequest`]
+    /// for zero-row payloads (rejected eagerly, not worth a queue slot).
+    pub fn submit(&self, req: Request) -> Result<u64, ServeError> {
+        if req.op.rows() == 0 {
+            return Err(ServeError::EmptyRequest);
+        }
+        let mut state = self.shared.state.lock().expect("server lock");
+        if state.shutting_down {
+            return Err(ServeError::ShuttingDown);
+        }
+        if state.queue.len() >= self.capacity {
+            return Err(ServeError::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        let id = state.next_id;
+        state.next_id += 1;
+        state.queue.push_back((id, req));
+        self.shared.work_cv.notify_one();
+        Ok(id)
+    }
+
+    /// Blocks until the request behind `id` completes and returns its
+    /// result.
+    ///
+    /// # Errors
+    ///
+    /// The request's own failure, or [`ServeError::WorkerGone`] when the
+    /// worker died before answering.
+    pub fn wait(&self, id: u64) -> Result<Matrix, ServeError> {
+        let mut state = self.shared.state.lock().expect("server lock");
+        loop {
+            if let Some(result) = state.results.remove(&id) {
+                return result;
+            }
+            if state.worker_done {
+                return Err(ServeError::WorkerGone);
+            }
+            state = self.shared.done_cv.wait(state).expect("server lock");
+        }
+    }
+
+    /// Submit + wait in one blocking call.
+    ///
+    /// # Errors
+    ///
+    /// See [`InferenceServer::submit`] and [`InferenceServer::wait`].
+    pub fn request(&self, req: Request) -> Result<Matrix, ServeError> {
+        let id = self.submit(req)?;
+        self.wait(id)
+    }
+
+    /// Stops the worker from picking up new batches (already-running work
+    /// finishes). Accepted requests keep queuing until the bounded queue
+    /// fills, at which point submissions see [`ServeError::QueueFull`] —
+    /// the maintenance lever for load-shedding upstream.
+    pub fn pause(&self) {
+        self.shared.state.lock().expect("server lock").paused = true;
+    }
+
+    /// Resumes batch processing after [`InferenceServer::pause`].
+    pub fn resume(&self) {
+        self.shared.state.lock().expect("server lock").paused = false;
+        self.shared.work_cv.notify_one();
+    }
+
+    /// Graceful shutdown: stops accepting new work, drains every accepted
+    /// request (pause is lifted), joins the worker, and returns its final
+    /// counters.
+    pub fn shutdown(mut self) -> EngineStats {
+        self.begin_shutdown();
+        if let Some(handle) = self.worker.take() {
+            let _ = handle.join();
+        }
+        self.shared
+            .state
+            .lock()
+            .expect("server lock")
+            .final_stats
+            .unwrap_or_default()
+    }
+
+    fn begin_shutdown(&self) {
+        let mut state = self.shared.state.lock().expect("server lock");
+        state.shutting_down = true;
+        state.paused = false;
+        self.shared.work_cv.notify_all();
+    }
+}
+
+impl Drop for InferenceServer {
+    fn drop(&mut self) {
+        if let Some(handle) = self.worker.take() {
+            self.begin_shutdown();
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Saves `model` as a checkpoint at `path` so a server can load it.
+/// Re-exported convenience over [`sqvae_core::checkpoint::save_model`].
+///
+/// # Errors
+///
+/// See [`sqvae_core::checkpoint::save_model`].
+pub fn publish_model(model: &mut Autoencoder, seed: u64, path: &str) -> Result<(), ServeError> {
+    checkpoint::save_model(model, seed, path).map_err(|e| ServeError::Checkpoint(e.to_string()))
+}
+
+/// Loads a checkpoint header without building the model — a cheap
+/// existence/compatibility probe for request routing.
+///
+/// # Errors
+///
+/// See [`Checkpoint::load`].
+pub fn probe_checkpoint(path: &str) -> Result<Checkpoint, ServeError> {
+    Checkpoint::load(path).map_err(|e| ServeError::Checkpoint(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqvae_core::models;
+
+    fn temp_path(name: &str) -> String {
+        let dir = std::env::temp_dir().join("sqvae-serve-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn published_model(name: &str, seed: u64) -> (String, Autoencoder) {
+        let mut model = models::sq_vae(16, 2, 1, &mut StdRng::seed_from_u64(seed));
+        let path = temp_path(name);
+        publish_model(&mut model, seed, &path).unwrap();
+        (path, model)
+    }
+
+    fn rows_bits(m: &Matrix) -> Vec<u64> {
+        m.as_slice().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn coalesced_batch_matches_direct_single_row_calls() {
+        let (path, mut direct) = published_model("coalesce.ckpt", 1);
+        let mut engine = BatchEngine::new(64);
+        let xs: Vec<Matrix> = (0..5)
+            .map(|i| Matrix::from_fn(1, 16, |_, c| (i * 16 + c) as f64 / 80.0))
+            .collect();
+        let tickets: Vec<Ticket> = xs
+            .iter()
+            .map(|x| {
+                engine
+                    .submit(Request {
+                        model: path.clone(),
+                        op: Op::Reconstruct(x.clone()),
+                    })
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(engine.pending(), 5);
+        // All five coalesce into ONE forward pass...
+        assert_eq!(engine.process_next_batch(), 5);
+        let stats = engine.stats();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.requests, 5);
+        assert_eq!(stats.rows, 5);
+        assert_eq!(stats.largest_batch_requests, 5);
+        // ...and each result is bit-identical to the direct call.
+        for (x, t) in xs.iter().zip(tickets) {
+            let served = engine.take_result(t).unwrap().unwrap();
+            let want = direct.reconstruct(x).unwrap();
+            assert_eq!(rows_bits(&served), rows_bits(&want));
+        }
+    }
+
+    #[test]
+    fn encode_decode_and_sample_round_trip_bit_identically() {
+        let (path, mut direct) = published_model("ops.ckpt", 2);
+        let mut engine = BatchEngine::new(64);
+        let x = Matrix::from_fn(3, 16, |r, c| ((r * 16 + c) as f64).sin());
+        let t_enc = engine
+            .submit(Request {
+                model: path.clone(),
+                op: Op::Encode(x.clone()),
+            })
+            .unwrap();
+        let z = Matrix::from_fn(2, direct.latent_dim(), |r, c| (r + c) as f64 * 0.1);
+        let t_dec = engine
+            .submit(Request {
+                model: path.clone(),
+                op: Op::Decode(z.clone()),
+            })
+            .unwrap();
+        let t_s1 = engine
+            .submit(Request {
+                model: path.clone(),
+                op: Op::Sample { n: 2, seed: 11 },
+            })
+            .unwrap();
+        let t_s2 = engine
+            .submit(Request {
+                model: path,
+                op: Op::Sample { n: 3, seed: 12 },
+            })
+            .unwrap();
+        engine.drain();
+        // Mixed kinds cannot share a batch; the two samples can.
+        assert_eq!(engine.stats().batches, 3);
+
+        let want_enc = direct.encode(&x).unwrap();
+        assert_eq!(
+            rows_bits(&engine.take_result(t_enc).unwrap().unwrap()),
+            rows_bits(&want_enc)
+        );
+        let want_dec = direct.decode(&z).unwrap();
+        assert_eq!(
+            rows_bits(&engine.take_result(t_dec).unwrap().unwrap()),
+            rows_bits(&want_dec)
+        );
+        // Coalesced samples equal direct per-seed sample() calls.
+        let want_s1 = direct.sample(2, &mut StdRng::seed_from_u64(11)).unwrap();
+        let want_s2 = direct.sample(3, &mut StdRng::seed_from_u64(12)).unwrap();
+        assert_eq!(
+            rows_bits(&engine.take_result(t_s1).unwrap().unwrap()),
+            rows_bits(&want_s1)
+        );
+        assert_eq!(
+            rows_bits(&engine.take_result(t_s2).unwrap().unwrap()),
+            rows_bits(&want_s2)
+        );
+    }
+
+    #[test]
+    fn row_budget_splits_oversized_batches() {
+        let (path, _) = published_model("budget.ckpt", 3);
+        let mut engine = BatchEngine::new(4);
+        for _ in 0..3 {
+            engine
+                .submit(Request {
+                    model: path.clone(),
+                    op: Op::Reconstruct(Matrix::filled(3, 16, 0.2)),
+                })
+                .unwrap();
+        }
+        engine.drain();
+        // 3 rows each, budget 4: no two requests fit together.
+        assert_eq!(engine.stats().batches, 3);
+        assert_eq!(engine.stats().largest_batch_requests, 1);
+    }
+
+    #[test]
+    fn models_stay_warm_across_batches() {
+        let (path, _) = published_model("warm.ckpt", 4);
+        let mut engine = BatchEngine::new(8);
+        for _ in 0..3 {
+            engine
+                .submit(Request {
+                    model: path.clone(),
+                    op: Op::Sample { n: 1, seed: 0 },
+                })
+                .unwrap();
+            engine.drain();
+        }
+        assert_eq!(engine.warm_models(), 1);
+    }
+
+    #[test]
+    fn engine_surfaces_checkpoint_and_empty_errors() {
+        let mut engine = BatchEngine::new(8);
+        let t = engine
+            .submit(Request {
+                model: temp_path("does-not-exist.ckpt"),
+                op: Op::Sample { n: 1, seed: 0 },
+            })
+            .unwrap();
+        engine.drain();
+        assert!(matches!(
+            engine.take_result(t),
+            Some(Err(ServeError::Checkpoint(_)))
+        ));
+        let err = engine
+            .submit(Request {
+                model: "x".into(),
+                op: Op::Sample { n: 0, seed: 0 },
+            })
+            .unwrap_err();
+        assert_eq!(err, ServeError::EmptyRequest);
+    }
+
+    #[test]
+    fn bad_payload_fails_its_batch_without_poisoning_other_keys() {
+        let (path, mut direct) = published_model("width.ckpt", 5);
+        let mut engine = BatchEngine::new(64);
+        // Wrong width: 16-feature model fed 8-wide rows.
+        let bad = engine
+            .submit(Request {
+                model: path.clone(),
+                op: Op::Reconstruct(Matrix::filled(1, 8, 0.1)),
+            })
+            .unwrap();
+        let x = Matrix::filled(1, 16, 0.3);
+        let good = engine
+            .submit(Request {
+                model: path,
+                op: Op::Reconstruct(x.clone()),
+            })
+            .unwrap();
+        engine.drain();
+        // Different widths → different batch keys → independent fates.
+        assert!(matches!(
+            engine.take_result(bad),
+            Some(Err(ServeError::Model(_)))
+        ));
+        let served = engine.take_result(good).unwrap().unwrap();
+        assert_eq!(
+            rows_bits(&served),
+            rows_bits(&direct.reconstruct(&x).unwrap())
+        );
+    }
+
+    #[test]
+    fn server_round_trip_matches_direct_calls() {
+        let (path, mut direct) = published_model("server.ckpt", 6);
+        let server = InferenceServer::start(ServerConfig {
+            capacity: 16,
+            max_batch_rows: 32,
+        });
+        let x = Matrix::from_fn(2, 16, |r, c| (r * 16 + c) as f64 / 32.0);
+        let served = server
+            .request(Request {
+                model: path.clone(),
+                op: Op::Reconstruct(x.clone()),
+            })
+            .unwrap();
+        assert_eq!(
+            rows_bits(&served),
+            rows_bits(&direct.reconstruct(&x).unwrap())
+        );
+        let sampled = server
+            .request(Request {
+                model: path,
+                op: Op::Sample { n: 3, seed: 9 },
+            })
+            .unwrap();
+        let want = direct.sample(3, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(rows_bits(&sampled), rows_bits(&want));
+        let stats = server.shutdown();
+        assert_eq!(stats.requests, 2);
+    }
+
+    #[test]
+    fn bounded_queue_backpressure_and_graceful_drain() {
+        let (path, _) = published_model("backpressure.ckpt", 7);
+        let server = InferenceServer::start(ServerConfig {
+            capacity: 3,
+            max_batch_rows: 64,
+        });
+        // Paused worker: accepted requests pile up deterministically.
+        server.pause();
+        let req = |seed: u64| Request {
+            model: path.clone(),
+            op: Op::Sample { n: 1, seed },
+        };
+        let ids: Vec<u64> = (0..3).map(|s| server.submit(req(s)).unwrap()).collect();
+        assert_eq!(
+            server.submit(req(99)).unwrap_err(),
+            ServeError::QueueFull { capacity: 3 }
+        );
+        // Graceful shutdown lifts the pause and drains all three accepted
+        // requests before the worker exits.
+        let results: Vec<_> = {
+            let server = &server;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = ids
+                    .iter()
+                    .map(|&id| scope.spawn(move || server.wait(id)))
+                    .collect();
+                // Submissions racing shutdown see a typed refusal, never a hang.
+                server.resume();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+        };
+        for r in results {
+            assert_eq!(r.unwrap().shape(), (1, 16));
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.requests, 3);
+    }
+
+    #[test]
+    fn shutdown_refuses_new_work_but_drains_accepted_work() {
+        let (path, _) = published_model("drain.ckpt", 8);
+        let server = InferenceServer::start(ServerConfig {
+            capacity: 8,
+            max_batch_rows: 64,
+        });
+        server.pause();
+        let id = server
+            .submit(Request {
+                model: path.clone(),
+                op: Op::Sample { n: 2, seed: 1 },
+            })
+            .unwrap();
+        server.begin_shutdown();
+        assert_eq!(
+            server
+                .submit(Request {
+                    model: path,
+                    op: Op::Sample { n: 1, seed: 2 },
+                })
+                .unwrap_err(),
+            ServeError::ShuttingDown
+        );
+        // The accepted request still completes.
+        assert_eq!(server.wait(id).unwrap().shape(), (2, 16));
+        server.shutdown();
+    }
+
+    #[test]
+    fn probe_reads_checkpoint_metadata() {
+        let (path, direct) = published_model("probe.ckpt", 10);
+        let ckpt = probe_checkpoint(&path).unwrap();
+        assert_eq!(ckpt.name, direct.name);
+        assert_eq!(ckpt.seed, 10);
+        assert!(probe_checkpoint(&temp_path("missing.ckpt")).is_err());
+    }
+}
