@@ -23,6 +23,12 @@
 //! [`CheckpointError::ChecksumMismatch`], format drift as
 //! [`CheckpointError::UnsupportedVersion`].
 //!
+//! Saves are **crash-safe**: [`Checkpoint::save`] writes a temp sibling,
+//! fsyncs it, and renames it into place, keeping the previous generation
+//! as `<path>.bak`; [`Checkpoint::load_or_recover`] falls back to that
+//! backup when the primary is corrupt or missing. A crash at any moment of
+//! a save therefore never destroys the last good checkpoint.
+//!
 //! ## Example: save, reload, verify
 //!
 //! ```
@@ -46,6 +52,7 @@
 //! ```
 
 use crate::autoencoder::Autoencoder;
+use crate::faults::{self, FaultPoint};
 use crate::hybrid::ParamGroup;
 use crate::models::ModelSpec;
 use rand::rngs::StdRng;
@@ -54,9 +61,9 @@ use sqvae_nn::serialize::{
     read_matrix, read_string, read_u32, read_u64, write_matrix, write_string, write_u32, write_u64,
 };
 use sqvae_nn::{BackendKind, ExecPolicy, Matrix};
-use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
 
 /// File magic identifying a checkpoint.
 pub const MAGIC: [u8; 8] = *b"SQVAECKP";
@@ -406,15 +413,44 @@ impl Checkpoint {
         })
     }
 
-    /// Writes the checkpoint to a file at `path` (buffered).
+    /// Writes the checkpoint to `path` **crash-safely**: the bytes go to a
+    /// sibling temp file first, are fsynced, and only then renamed over
+    /// `path` — a crash at any instant leaves either the old generation or
+    /// the new one, never a torn file. The previous generation (when one
+    /// exists) survives as `<path>.bak`, which [`Checkpoint::load_or_recover`]
+    /// falls back on if the primary is later found corrupt.
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors.
+    /// Propagates filesystem errors; a failed save leaves the previous
+    /// checkpoint at `path` untouched.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
-        let mut w = BufWriter::new(File::create(path)?);
-        self.write_to(&mut w)?;
-        w.flush()?;
+        let path = path.as_ref();
+        let tmp = tmp_path(path);
+        {
+            let mut w = BufWriter::new(File::create(&tmp)?);
+            self.write_to(&mut w)?;
+            w.flush()?;
+            // Durability point: the temp file's bytes hit the disk before
+            // any rename makes them visible under the real name.
+            w.get_ref().sync_all()?;
+        }
+        // Keep one backup generation: the current primary (if any) becomes
+        // `<path>.bak` before the new file takes its name.
+        match fs::rename(path, backup_path(path)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        fs::rename(&tmp, path)?;
+        // Make the renames durable too, where the platform allows opening
+        // a directory (errors here are ignored: the data itself is synced).
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        inject_save_faults(path)?;
         Ok(())
     }
 
@@ -427,6 +463,108 @@ impl Checkpoint {
     pub fn load(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
         Checkpoint::read_from(BufReader::new(File::open(path)?))
     }
+
+    /// Loads the checkpoint at `path`, falling back to its `.bak`
+    /// generation when the primary is **corrupt** (bad magic, checksum
+    /// mismatch, truncation, structural damage — the debris a crash mid-save
+    /// or a torn write leaves behind). Reports which file answered.
+    ///
+    /// A *missing* primary also tries the backup: a crash between the two
+    /// renames of [`Checkpoint::save`] leaves exactly that state.
+    ///
+    /// # Errors
+    ///
+    /// The primary's error when no backup exists or the backup is also
+    /// unreadable, so callers see the most specific diagnosis.
+    pub fn load_or_recover(
+        path: impl AsRef<Path>,
+    ) -> Result<(Self, RecoverySource), CheckpointError> {
+        let path = path.as_ref();
+        let primary_err = match Checkpoint::load(path) {
+            Ok(ckpt) => return Ok((ckpt, RecoverySource::Primary)),
+            Err(e) if e.is_corruption() || is_not_found(&e) => e,
+            Err(e) => return Err(e),
+        };
+        match Checkpoint::load(backup_path(path)) {
+            Ok(ckpt) => Ok((ckpt, RecoverySource::Backup)),
+            Err(_) => Err(primary_err),
+        }
+    }
+}
+
+/// Which file satisfied a [`Checkpoint::load_or_recover`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoverySource {
+    /// The primary checkpoint was intact.
+    Primary,
+    /// The primary was corrupt or missing; the `.bak` generation answered.
+    Backup,
+}
+
+impl CheckpointError {
+    /// Whether this error means the file's *content* is damaged (as opposed
+    /// to absent, unreadable for I/O reasons, or architecturally
+    /// incompatible) — the class of failure a `.bak` generation can heal.
+    pub fn is_corruption(&self) -> bool {
+        match self {
+            CheckpointError::BadMagic
+            | CheckpointError::ChecksumMismatch
+            | CheckpointError::Corrupt(_) => true,
+            // A truncated file runs out of bytes mid-read.
+            CheckpointError::Io(e) => e.kind() == io::ErrorKind::UnexpectedEof,
+            _ => false,
+        }
+    }
+}
+
+fn is_not_found(e: &CheckpointError) -> bool {
+    matches!(e, CheckpointError::Io(io) if io.kind() == io::ErrorKind::NotFound)
+}
+
+/// The sibling path where [`Checkpoint::save`] parks the previous
+/// generation: `<path>.bak`.
+pub fn backup_path(path: impl AsRef<Path>) -> PathBuf {
+    let mut p = path.as_ref().as_os_str().to_owned();
+    p.push(".bak");
+    PathBuf::from(p)
+}
+
+/// The scratch path [`Checkpoint::save`] writes before the atomic rename.
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut p = path.as_os_str().to_owned();
+    p.push(".tmp");
+    PathBuf::from(p)
+}
+
+/// Chaos hook: after a save lands, optionally damage the primary file the
+/// way a torn write would — a deterministic bit flip or truncation driven
+/// by the installed [`crate::faults`] plan. A no-op unless a plan with a
+/// nonzero checkpoint rate is active.
+fn inject_save_faults(path: &Path) -> Result<(), CheckpointError> {
+    if !faults::active() {
+        return Ok(());
+    }
+    if let Some(payload) = faults::trigger(FaultPoint::CheckpointFlip) {
+        let len = fs::metadata(path)?.len();
+        if len > 0 {
+            let mut f = OpenOptions::new().read(true).write(true).open(path)?;
+            let offset = payload % len;
+            f.seek(SeekFrom::Start(offset))?;
+            let mut byte = [0u8; 1];
+            f.read_exact(&mut byte)?;
+            byte[0] ^= 1 << ((payload >> 32) % 8) as u8;
+            f.seek(SeekFrom::Start(offset))?;
+            f.write_all(&byte)?;
+        }
+    }
+    if let Some(payload) = faults::trigger(FaultPoint::CheckpointTruncate) {
+        let len = fs::metadata(path)?.len();
+        if len > 0 {
+            let keep = payload % len;
+            OpenOptions::new().write(true).open(path)?.set_len(keep)?;
+        }
+    }
+    Ok(())
 }
 
 /// Convenience: snapshot `model` (recording `seed`) and save it to `path`.
@@ -449,6 +587,20 @@ pub fn save_model(
 /// See [`Checkpoint::load`] and [`Checkpoint::build_model`].
 pub fn load_model(path: impl AsRef<Path>) -> Result<Autoencoder, CheckpointError> {
     Checkpoint::load(path)?.build_model()
+}
+
+/// Convenience: [`Checkpoint::load_or_recover`] + rebuild — the loader the
+/// serving stack uses, so a corrupted primary heals from `.bak` instead of
+/// failing every request that targets it.
+///
+/// # Errors
+///
+/// See [`Checkpoint::load_or_recover`] and [`Checkpoint::build_model`].
+pub fn load_model_or_recover(
+    path: impl AsRef<Path>,
+) -> Result<(Autoencoder, RecoverySource), CheckpointError> {
+    let (ckpt, source) = Checkpoint::load_or_recover(path)?;
+    Ok((ckpt.build_model()?, source))
 }
 
 #[cfg(test)]
@@ -592,6 +744,120 @@ mod tests {
         for (a, b) in snap.classical.iter().zip(&now.classical) {
             assert_eq!(a, b);
         }
+    }
+
+    fn temp_ckpt(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("sqvae-checkpoint-tests");
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        let _ = fs::remove_file(&p);
+        let _ = fs::remove_file(backup_path(&p));
+        p
+    }
+
+    #[test]
+    fn save_is_atomic_and_keeps_a_backup_generation() {
+        let path = temp_ckpt("atomic.ckpt");
+        let mut m = model();
+        save_model(&mut m, 1, &path).unwrap();
+        assert!(path.exists());
+        assert!(
+            !backup_path(&path).exists(),
+            "first save has no previous generation"
+        );
+        let gen1 = fs::read(&path).unwrap();
+
+        save_model(&mut m, 2, &path).unwrap();
+        assert_eq!(
+            fs::read(backup_path(&path)).unwrap(),
+            gen1,
+            "second save must park generation 1 as .bak"
+        );
+        // No scratch debris survives a completed save.
+        assert!(!tmp_path(&path).exists());
+    }
+
+    #[test]
+    fn load_or_recover_falls_back_to_backup_on_corruption() {
+        let path = temp_ckpt("recover.ckpt");
+        let mut m = model();
+        // Two saves of the same model: primary and .bak hold identical bits.
+        save_model(&mut m, 5, &path).unwrap();
+        save_model(&mut m, 5, &path).unwrap();
+
+        let (_, source) = Checkpoint::load_or_recover(&path).unwrap();
+        assert_eq!(source, RecoverySource::Primary);
+
+        // Torn write: flip a body byte in the primary.
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        fs::write(&path, &bytes).unwrap();
+        assert!(Checkpoint::load(&path).unwrap_err().is_corruption());
+        let (ckpt, source) = Checkpoint::load_or_recover(&path).unwrap();
+        assert_eq!(source, RecoverySource::Backup);
+        assert_eq!(ckpt.seed, 5);
+        // The recovered model reconstructs bit-identically to the original.
+        let mut rebuilt = ckpt.build_model().unwrap();
+        let x = Matrix::filled(2, 16, 0.25);
+        let (a, b) = (m.reconstruct(&x).unwrap(), rebuilt.reconstruct(&x).unwrap());
+        for (u, v) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+
+        // Truncation (crash mid-write of the primary) recovers the same way.
+        let full = fs::read(backup_path(&path)).unwrap();
+        fs::write(&path, &full[..full.len() / 3]).unwrap();
+        let (_, source) = Checkpoint::load_or_recover(&path).unwrap();
+        assert_eq!(source, RecoverySource::Backup);
+
+        // A missing primary (crash between the two renames) also recovers.
+        fs::remove_file(&path).unwrap();
+        let (_, source) = Checkpoint::load_or_recover(&path).unwrap();
+        assert_eq!(source, RecoverySource::Backup);
+    }
+
+    #[test]
+    fn load_or_recover_reports_the_primary_error_when_backup_is_absent() {
+        let path = temp_ckpt("no-backup.ckpt");
+        let mut m = model();
+        save_model(&mut m, 7, &path).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let err = Checkpoint::load_or_recover(&path).unwrap_err();
+        assert!(err.is_corruption(), "got {err:?}");
+        // Architecture-level errors are not recoverable corruption.
+        assert!(!CheckpointError::MissingSpec.is_corruption());
+        assert!(!CheckpointError::UnsupportedVersion { found: 9 }.is_corruption());
+    }
+
+    #[test]
+    fn leftover_tmp_from_a_crashed_save_is_overwritten() {
+        let path = temp_ckpt("tmpdebris.ckpt");
+        // A crash after creating the temp file but before the rename leaves
+        // debris; the next save must simply write over it.
+        fs::write(tmp_path(&path), b"half-written garbage").unwrap();
+        let mut m = model();
+        save_model(&mut m, 9, &path).unwrap();
+        assert!(!tmp_path(&path).exists());
+        assert!(Checkpoint::load(&path).is_ok());
+    }
+
+    #[test]
+    fn failed_save_leaves_the_previous_checkpoint_untouched() {
+        let path = temp_ckpt("failsafe.ckpt");
+        let mut m = model();
+        save_model(&mut m, 11, &path).unwrap();
+        let before = fs::read(&path).unwrap();
+        // Occupy the temp name with a directory: the save fails at the
+        // scratch-file stage, before anything touches the primary.
+        let tmp = tmp_path(&path);
+        fs::create_dir_all(&tmp).unwrap();
+        assert!(save_model(&mut m, 12, &path).is_err());
+        assert_eq!(fs::read(&path).unwrap(), before);
+        fs::remove_dir(&tmp).unwrap();
     }
 
     #[test]

@@ -49,6 +49,7 @@ mod quantum_layer;
 mod trainer;
 
 pub mod checkpoint;
+pub mod faults;
 pub mod models;
 pub mod sampling;
 
@@ -57,7 +58,9 @@ pub use hybrid::{HybridStack, ParamGroup};
 pub use latent::{GaussianLatent, Latent};
 pub use patched::{patched_latent_dim, PatchedQuantumLayer};
 pub use quantum_layer::{QuantumInput, QuantumLayer, QuantumOutput};
-pub use trainer::{EpochRecord, History, TrainConfig, Trainer};
+pub use trainer::{
+    AnomalyEvent, AnomalyKind, EpochRecord, History, NanGuard, TrainConfig, Trainer,
+};
 
 // Re-exported so downstream users can set `TrainConfig::threads` /
 // `TrainConfig::backend` or build an execution policy without depending on

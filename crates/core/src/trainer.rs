@@ -7,6 +7,7 @@
 
 use crate::autoencoder::Autoencoder;
 use crate::checkpoint::ParamSnapshot;
+use crate::faults::{self, FaultPoint};
 use crate::hybrid::ParamGroup;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -50,6 +51,65 @@ pub struct TrainConfig {
     /// ~1e-15, measurably faster). Defaults to [`BackendKind::from_env`]
     /// (`SQVAE_BACKEND`: `dense` or `fused`).
     pub backend: BackendKind,
+    /// Guard rail against divergence: when a batch produces a non-finite
+    /// loss or non-finite gradients, roll the parameters back to the last
+    /// good snapshot, scale the learning rates down, optionally re-derive
+    /// the RNG, record the event in [`History::anomalies`], and keep
+    /// training — instead of silently poisoning every later weight. `None`
+    /// restores the old fail-open behavior. Defaults to
+    /// [`NanGuard::default`].
+    pub nan_guard: Option<NanGuard>,
+}
+
+/// Policy for the trainer's non-finite guard rail (see
+/// [`TrainConfig::nan_guard`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NanGuard {
+    /// Give up — with a typed [`NnError::NonFinite`] — after this many
+    /// rollbacks in one run; the model is left on its last good snapshot.
+    pub max_recoveries: usize,
+    /// Multiply both learning rates by this factor on every rollback
+    /// (0.5 = halve the step; a blown-up step is the usual culprit).
+    pub lr_decay: f64,
+    /// Re-derive the shuffle/reparametrization RNG after a rollback, so the
+    /// retried trajectory does not replay the exact batch noise that blew
+    /// up (deterministic: the new seed is a hash of the old seed and the
+    /// rollback count).
+    pub reseed: bool,
+}
+
+impl Default for NanGuard {
+    fn default() -> Self {
+        NanGuard {
+            max_recoveries: 4,
+            lr_decay: 0.5,
+            reseed: true,
+        }
+    }
+}
+
+/// What the non-finite guard detected on one batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnomalyKind {
+    /// The batch loss (MSE or KL term) was NaN or infinite.
+    NonFiniteLoss,
+    /// The loss was finite but backpropagation produced non-finite
+    /// gradients.
+    NonFiniteGradient,
+}
+
+/// One recovered divergence event (see [`History::anomalies`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnomalyEvent {
+    /// Epoch (0-based) in which the event fired.
+    pub epoch: usize,
+    /// Batch index within that epoch.
+    pub batch: usize,
+    /// What was detected.
+    pub kind: AnomalyKind,
+    /// Cumulative learning-rate scale in force *after* this rollback
+    /// (1.0 → untouched; 0.25 → two halvings at the default decay).
+    pub lr_scale: f64,
 }
 
 impl Default for TrainConfig {
@@ -66,6 +126,7 @@ impl Default for TrainConfig {
             early_stop_patience: None,
             threads: Threads::from_env(),
             backend: BackendKind::from_env(),
+            nan_guard: Some(NanGuard::default()),
         }
     }
 }
@@ -115,6 +176,9 @@ pub struct History {
     /// the epoch with the lowest test MSE. `None` when tracking was off —
     /// the model simply holds the last epoch's weights.
     pub best_epoch: Option<usize>,
+    /// Divergence events the non-finite guard rail recovered from, in
+    /// order. Empty on a healthy run (or when the guard was disabled).
+    pub anomalies: Vec<AnomalyEvent>,
 }
 
 impl History {
@@ -254,12 +318,19 @@ impl Trainer {
             model: model.name.clone(),
             records: Vec::with_capacity(self.config.epochs),
             best_epoch: None,
+            anomalies: Vec::new(),
         };
         model.set_exec_policy(self.config.exec_policy());
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         // (epoch, test MSE, weights) of the best epoch seen so far.
         let mut best: Option<(usize, f64, ParamSnapshot)> = None;
         let mut stale_epochs = 0usize;
+        // Non-finite guard state: the last known-good weights, how many
+        // rollbacks have fired, and the cumulative learning-rate scale.
+        let guard = self.config.nan_guard;
+        let mut last_good = guard.map(|_| ParamSnapshot::capture(model));
+        let mut recoveries = 0usize;
+        let mut lr_scale = 1.0f64;
         for epoch in 0..self.config.epochs {
             if self.config.kl_warmup_epochs > 0 {
                 let scale = ((epoch + 1) as f64 / self.config.kl_warmup_epochs as f64).min(1.0);
@@ -273,12 +344,68 @@ impl Trainer {
             let mut epoch_mse = 0.0;
             let mut epoch_kl = 0.0;
             let mut seen = 0usize;
-            for batch in data.batches(self.config.batch_size) {
+            for (batch_idx, batch) in data.batches(self.config.batch_size).into_iter().enumerate() {
                 let x = Self::batch_matrix(&batch)?;
                 model.zero_grad();
                 let out = model.forward_train(&x, &mut rng)?;
-                let (mse, grad) = loss::mse(&out.reconstruction, &x)?;
-                model.backward(&grad)?;
+                let (mut mse, grad) = loss::mse(&out.reconstruction, &x)?;
+                if faults::trigger(FaultPoint::NanLoss).is_some() {
+                    mse = f64::NAN; // injected divergence (chaos testing)
+                }
+                // Guard rail: divergence must never reach the optimizer. A
+                // non-finite loss skips backward outright; a finite loss
+                // still gets its gradients screened after backward.
+                if let Some(g) = guard {
+                    let kind = if !mse.is_finite() || !out.kl.is_finite() {
+                        Some(AnomalyKind::NonFiniteLoss)
+                    } else {
+                        model.backward(&grad)?;
+                        if has_non_finite_grads(model) {
+                            Some(AnomalyKind::NonFiniteGradient)
+                        } else {
+                            None
+                        }
+                    };
+                    if let Some(kind) = kind {
+                        recoveries += 1;
+                        last_good
+                            .as_ref()
+                            .expect("guard active implies a snapshot")
+                            .restore(model)
+                            .expect("snapshot was captured from this very model");
+                        model.zero_grad();
+                        if recoveries > g.max_recoveries {
+                            // Budget exhausted: surface a typed error, with
+                            // the model left on its last good weights.
+                            return Err(NnError::NonFinite {
+                                epoch,
+                                recoveries: recoveries - 1,
+                            });
+                        }
+                        lr_scale *= g.lr_decay;
+                        self.quantum_opt
+                            .set_learning_rate(self.config.quantum_lr * lr_scale);
+                        self.classical_opt
+                            .set_learning_rate(self.config.classical_lr * lr_scale);
+                        if g.reseed {
+                            // Deterministic re-derivation: don't replay the
+                            // exact reparametrization noise that blew up.
+                            rng = StdRng::seed_from_u64(
+                                self.config.seed
+                                    ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(recoveries as u64),
+                            );
+                        }
+                        history.anomalies.push(AnomalyEvent {
+                            epoch,
+                            batch: batch_idx,
+                            kind,
+                            lr_scale,
+                        });
+                        continue; // this batch contributes nothing
+                    }
+                } else {
+                    model.backward(&grad)?;
+                }
                 if let Some(max_norm) = self.config.max_grad_norm {
                     clip_gradients(model, max_norm)?;
                 }
@@ -293,6 +420,9 @@ impl Trainer {
                 epoch_mse += mse * batch.len() as f64;
                 epoch_kl += out.kl * batch.len() as f64;
                 seen += batch.len();
+                if last_good.is_some() {
+                    last_good = Some(ParamSnapshot::capture(model));
+                }
             }
             let denom = seen.max(1) as f64;
             let test_mse = match test {
@@ -330,6 +460,18 @@ impl Trainer {
         }
         Ok(history)
     }
+}
+
+/// Whether any gradient entry in either parameter group is NaN/±∞.
+fn has_non_finite_grads(model: &mut Autoencoder) -> bool {
+    for group in [ParamGroup::Quantum, ParamGroup::Classical] {
+        for p in model.parameters_of(group) {
+            if p.grad.as_slice().iter().any(|g| !g.is_finite()) {
+                return true;
+            }
+        }
+    }
+    false
 }
 
 /// Rescales every gradient so the global L2 norm across both parameter
@@ -451,6 +593,7 @@ mod tests {
             model: "m".into(),
             records: vec![],
             best_epoch: None,
+            anomalies: vec![],
         };
         assert!(hist.final_train_mse().is_none());
         hist.records.push(EpochRecord {
@@ -613,6 +756,7 @@ mod tests {
                 },
             ],
             best_epoch: None,
+            anomalies: vec![],
         };
         let csv = hist.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
@@ -715,6 +859,127 @@ mod tests {
         let hist = trainer.train(&mut model, &train, Some(&test)).unwrap();
         assert!(hist.records.len() < 20, "the stop must have fired");
         assert_eq!(model.kl_scale(), 1.0);
+    }
+
+    /// A toy dataset with one sample carrying a 1e200 feature: the MSE of
+    /// any batch containing it overflows to +∞, tripping the guard — the
+    /// deterministic stand-in for a mid-run divergence.
+    fn poisoned_dataset(n: usize, width: usize, seed: u64) -> Dataset {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut samples: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..width).map(|_| rng.gen_range(0.0..2.0)).collect())
+            .collect();
+        samples[0][0] = 1e200;
+        Dataset::from_samples(samples).expect("non-empty")
+    }
+
+    #[test]
+    fn nan_guard_rolls_back_and_keeps_training() {
+        // One poisoned batch per epoch: with the guard on, the run must
+        // complete, record the anomalies, and leave every parameter finite.
+        let data = poisoned_dataset(32, 16, 70);
+        let mut rng = StdRng::seed_from_u64(71);
+        let mut model = models::classical_vae(16, 2, &mut rng);
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 4,
+            batch_size: 8,
+            nan_guard: Some(NanGuard {
+                max_recoveries: 64,
+                lr_decay: 0.5,
+                reseed: true,
+            }),
+            ..TrainConfig::default()
+        });
+        let hist = trainer.train(&mut model, &data, None).unwrap();
+        assert!(
+            !hist.anomalies.is_empty(),
+            "the poisoned batch must trip the guard"
+        );
+        // Rollback restores finite weights and later epochs stay sane.
+        for group in [ParamGroup::Quantum, ParamGroup::Classical] {
+            for p in model.parameters_of(group) {
+                assert!(p.value.as_slice().iter().all(|v| v.is_finite()));
+            }
+        }
+        assert!(hist.final_train_mse().unwrap().is_finite());
+        // Events carry a decaying lr scale and ordered positions.
+        for w in hist.anomalies.windows(2) {
+            assert!(w[1].lr_scale < w[0].lr_scale);
+            assert!((w[0].epoch, w[0].batch) < (w[1].epoch, w[1].batch));
+        }
+    }
+
+    #[test]
+    fn nan_guard_budget_exhaustion_is_a_typed_error() {
+        // The poisoned sample comes back every epoch; with a budget of 2
+        // rollbacks, the third epoch's event must give up with a typed
+        // error.
+        let data = poisoned_dataset(32, 16, 72);
+        let mut rng = StdRng::seed_from_u64(73);
+        let mut model = models::classical_vae(16, 2, &mut rng);
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 8,
+            batch_size: 8,
+            nan_guard: Some(NanGuard {
+                max_recoveries: 2,
+                lr_decay: 0.5,
+                reseed: false,
+            }),
+            ..TrainConfig::default()
+        });
+        let err = trainer.train(&mut model, &data, None).unwrap_err();
+        assert!(
+            matches!(err, NnError::NonFinite { recoveries: 2, .. }),
+            "got {err:?}"
+        );
+        // Even on give-up the model holds finite (rolled-back) weights.
+        for group in [ParamGroup::Quantum, ParamGroup::Classical] {
+            for p in model.parameters_of(group) {
+                assert!(p.value.as_slice().iter().all(|v| v.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn nan_guard_off_preserves_the_old_fail_open_behavior() {
+        let data = poisoned_dataset(16, 16, 74);
+        let mut rng = StdRng::seed_from_u64(75);
+        let mut model = models::classical_vae(16, 2, &mut rng);
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 3,
+            batch_size: 8,
+            nan_guard: None,
+            ..TrainConfig::default()
+        });
+        let hist = trainer.train(&mut model, &data, None).unwrap();
+        assert!(hist.anomalies.is_empty());
+        assert!(
+            !hist.final_train_mse().unwrap().is_finite(),
+            "without the guard the divergence must poison the loss (the \
+             behavior this guard exists to fix)"
+        );
+    }
+
+    #[test]
+    fn nan_guard_is_inert_on_healthy_runs() {
+        // Same run as classical_ae_loss_decreases, guard on vs. off: the
+        // histories' records must be identical (snapshot upkeep must not
+        // perturb training), with zero anomalies.
+        let run = |guard: Option<NanGuard>| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut model = models::classical_ae(16, 4, &mut rng);
+            let data = toy_dataset(64, 16, 2);
+            let mut trainer = Trainer::new(TrainConfig {
+                nan_guard: guard,
+                ..quick_config(4)
+            });
+            trainer.train(&mut model, &data, None).unwrap()
+        };
+        let on = run(Some(NanGuard::default()));
+        let off = run(None);
+        assert!(on.anomalies.is_empty());
+        assert_eq!(on.records, off.records);
     }
 
     #[test]

@@ -23,6 +23,15 @@ pub enum NnError {
         /// Tensors supplied to this step.
         actual: usize,
     },
+    /// Training diverged: non-finite losses or gradients kept appearing
+    /// after the guard rail exhausted its rollback budget (see
+    /// `sqvae_core::TrainConfig::nan_guard`).
+    NonFinite {
+        /// Epoch (0-based) of the final, unrecoverable event.
+        epoch: usize,
+        /// Rollbacks the guard attempted before giving up.
+        recoveries: usize,
+    },
 }
 
 impl fmt::Display for NnError {
@@ -39,6 +48,11 @@ impl fmt::Display for NnError {
             NnError::OptimizerStateMismatch { expected, actual } => write!(
                 f,
                 "optimizer state mismatch: tracking {expected} tensors, got {actual}"
+            ),
+            NnError::NonFinite { epoch, recoveries } => write!(
+                f,
+                "training diverged at epoch {epoch}: non-finite loss/gradients persisted \
+                 after {recoveries} rollback(s)"
             ),
         }
     }

@@ -81,31 +81,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let server = InferenceServer::start(ServerConfig {
         capacity: 32,
         max_batch_rows: 64,
+        ..ServerConfig::default()
     });
     server.pause();
     let x = Matrix::from_fn(3, 64, |r, c| ((r * 64 + c) as f64).sin().abs());
     let z = Matrix::from_fn(2, model.latent_dim(), |r, c| (r + c) as f64 * 0.2);
     let ids = [
-        server.submit(Request {
-            model: path.clone(),
-            op: Op::Reconstruct(x.clone()),
-        })?,
-        server.submit(Request {
-            model: path.clone(),
-            op: Op::Encode(x.clone()),
-        })?,
-        server.submit(Request {
-            model: path.clone(),
-            op: Op::Decode(z.clone()),
-        })?,
-        server.submit(Request {
-            model: path.clone(),
-            op: Op::Sample { n: 5, seed: 11 },
-        })?,
-        server.submit(Request {
-            model: path.clone(),
-            op: Op::Reconstruct(probe.clone()),
-        })?,
+        server.submit(Request::new(path.clone(), Op::Reconstruct(x.clone())))?,
+        server.submit(Request::new(path.clone(), Op::Encode(x.clone())))?,
+        server.submit(Request::new(path.clone(), Op::Decode(z.clone())))?,
+        server.submit(Request::new(path.clone(), Op::Sample { n: 5, seed: 11 }))?,
+        server.submit(Request::new(path.clone(), Op::Reconstruct(probe.clone())))?,
     ];
     server.resume();
     let served: Vec<Matrix> = ids

@@ -15,7 +15,10 @@
 //! * [`core`] — the autoencoder model zoo, trainer, and sampling pipeline
 //!   (`sqvae-core`).
 //! * [`serve`] — batched inference over saved checkpoints: request
-//!   coalescing, warm-model registry, bounded-queue backpressure.
+//!   coalescing, warm-model registry, bounded-queue backpressure,
+//!   per-request deadlines, worker supervision, and client retries.
+//! * [`faults`] — deterministic fault injection (worker panics, queue
+//!   saturation, checkpoint corruption, NaN losses) for chaos testing.
 //!
 //! ## Quickstart
 //!
@@ -37,6 +40,7 @@
 
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod serve;
 
 pub use sqvae_chem as chem;

@@ -17,6 +17,33 @@
 //!   [`InferenceServer::shutdown`] that drains in-flight work before the
 //!   thread exits.
 //!
+//! ## Fault tolerance
+//!
+//! The server is built to keep its core invariant — **every accepted
+//! request resolves**, with a result or a typed error, never a hang —
+//! under the failures a long-running deployment actually sees:
+//!
+//! * **Deadlines.** A request can carry its own [`Request::deadline`], or
+//!   inherit [`ServerConfig::default_timeout`]. Expired requests are
+//!   load-shed in-queue (before they waste a batch slot) and
+//!   [`InferenceServer::wait`] gives up at the deadline — both surface as
+//!   [`ServeError::DeadlineExceeded`].
+//! * **Worker supervision.** A panic in the worker (a model bug, or an
+//!   injected [`sqvae_core::faults::FaultPoint::WorkerPanic`]) fails the
+//!   tickets it held in flight with [`ServeError::WorkerGone`], and the
+//!   supervisor respawns the worker on the next client call, rebuilding
+//!   the warm-model registry from the checkpoint paths the dead worker had
+//!   loaded. Queued-but-unstolen requests survive the crash untouched.
+//! * **Client retries.** [`InferenceServer::request`] retries retryable
+//!   errors ([`ServeError::QueueFull`], [`ServeError::WorkerGone`]) per
+//!   the [`ServerConfig::retry`] policy with exponential backoff.
+//! * **Poison recovery.** Every lock acquisition recovers from mutex
+//!   poisoning, so one panic never cascades into aborts elsewhere.
+//! * **Checkpoint healing.** Models load through
+//!   [`sqvae_core::checkpoint::load_model_or_recover`], so a corrupted
+//!   checkpoint file falls back to its `.bak` generation instead of
+//!   failing every request that targets it.
+//!
 //! Sampling stays deterministic under coalescing because each `sample`
 //! request carries its own seed: the engine draws that request's latent
 //! rows from a fresh `StdRng::seed_from_u64(seed)` — the same stream a
@@ -30,10 +57,7 @@
 //!
 //! # fn main() -> Result<(), sqvae::serve::ServeError> {
 //! let server = InferenceServer::start(ServerConfig::default());
-//! let sampled = server.request(Request {
-//!     model: "model.ckpt".into(),
-//!     op: Op::Sample { n: 4, seed: 7 },
-//! })?;
+//! let sampled = server.request(Request::new("model.ckpt", Op::Sample { n: 4, seed: 7 }))?;
 //! println!("sampled {} molecules-worth of features", sampled.rows());
 //! server.shutdown();
 //! # Ok(())
@@ -42,12 +66,14 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sqvae_core::checkpoint::{self, Checkpoint};
+use sqvae_core::checkpoint::{self, Checkpoint, RecoverySource};
+use sqvae_core::faults::{self, FaultPoint};
 use sqvae_core::Autoencoder;
 use sqvae_nn::{Matrix, NnError};
-use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Condvar, Mutex};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Errors surfaced by the inference service.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +96,25 @@ pub enum ServeError {
     Checkpoint(String),
     /// The model rejected the payload (shape mismatch etc.).
     Model(NnError),
+    /// The request's deadline passed before a result was produced: either
+    /// load-shed in-queue or abandoned by [`InferenceServer::wait`].
+    DeadlineExceeded,
+    /// [`InferenceServer::wait`] was asked about an id the server never
+    /// issued (or whose result was already consumed).
+    UnknownTicket {
+        /// The unrecognised ticket id.
+        id: u64,
+    },
+}
+
+impl ServeError {
+    /// Whether retrying the same request may succeed: transient conditions
+    /// ([`ServeError::QueueFull`] backpressure, a [`ServeError::WorkerGone`]
+    /// crash the supervisor heals) are retryable; payload and deadline
+    /// errors are not.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ServeError::QueueFull { .. } | ServeError::WorkerGone)
+    }
 }
 
 impl std::fmt::Display for ServeError {
@@ -83,6 +128,12 @@ impl std::fmt::Display for ServeError {
             ServeError::EmptyRequest => write!(f, "request carries no rows"),
             ServeError::Checkpoint(msg) => write!(f, "checkpoint load failed: {msg}"),
             ServeError::Model(e) => write!(f, "model error: {e}"),
+            ServeError::DeadlineExceeded => {
+                write!(f, "deadline passed before the request was served")
+            }
+            ServeError::UnknownTicket { id } => {
+                write!(f, "ticket {id} was never issued or already consumed")
+            }
         }
     }
 }
@@ -146,6 +197,32 @@ pub struct Request {
     pub model: String,
     /// The operation to run.
     pub op: Op,
+    /// Absolute deadline: past this instant the request is load-shed (if
+    /// still queued) or abandoned (if in flight) with
+    /// [`ServeError::DeadlineExceeded`]. `None` falls back to
+    /// [`ServerConfig::default_timeout`], counted from submission.
+    pub deadline: Option<Instant>,
+}
+
+impl Request {
+    /// A request with no deadline of its own (the server's
+    /// [`ServerConfig::default_timeout`] still applies, if set).
+    pub fn new(model: impl Into<String>, op: Op) -> Self {
+        Request {
+            model: model.into(),
+            op,
+            deadline: None,
+        }
+    }
+
+    /// Sets an absolute deadline `timeout` from now. The deadline survives
+    /// [`InferenceServer::request`] retries — the budget covers the whole
+    /// round trip, not each attempt.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
 }
 
 /// Handle for retrieving one request's result from a [`BatchEngine`].
@@ -164,6 +241,24 @@ pub struct EngineStats {
     pub rows: usize,
     /// Largest number of requests merged into one batch.
     pub largest_batch_requests: usize,
+    /// Model loads that had to fall back to a checkpoint's `.bak`
+    /// generation because the primary file was corrupt or missing.
+    pub checkpoint_recoveries: usize,
+}
+
+impl EngineStats {
+    /// Folds another generation's counters into this one. The server uses
+    /// this to report totals across worker respawns; counts add, the
+    /// largest-batch high-water mark takes the max.
+    pub fn absorb(&mut self, other: EngineStats) {
+        self.requests += other.requests;
+        self.batches += other.batches;
+        self.rows += other.rows;
+        self.largest_batch_requests = self
+            .largest_batch_requests
+            .max(other.largest_batch_requests);
+        self.checkpoint_recoveries += other.checkpoint_recoveries;
+    }
 }
 
 struct Job {
@@ -304,13 +399,9 @@ impl BatchEngine {
     /// Runs one coalesced batch: stacks every job's rows, executes a single
     /// model pass, and splits the output back per job.
     fn run_batch(&mut self, batch: &[Job]) -> Result<Vec<Matrix>, ServeError> {
-        let path = &batch[0].model;
-        if !self.models.contains_key(path) {
-            let model =
-                checkpoint::load_model(path).map_err(|e| ServeError::Checkpoint(e.to_string()))?;
-            self.models.insert(path.clone(), model);
-        }
-        let model = self.models.get_mut(path).expect("just inserted");
+        let path = batch[0].model.clone();
+        self.warm_up(&path)?;
+        let model = self.models.get_mut(&path).expect("just warmed");
 
         // Per-request latent draws for Sample jobs: each consumes exactly
         // the RNG stream its direct `sample` call would, so only the decode
@@ -343,9 +434,76 @@ impl BatchEngine {
         Ok(outputs)
     }
 
+    /// Loads the checkpoint at `path` into the warm registry (no-op when
+    /// already warm), recovering from the `.bak` generation if the primary
+    /// file is corrupt. The respawned worker uses this to rebuild the dead
+    /// generation's registry.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Checkpoint`] when neither the primary nor the backup
+    /// loads.
+    pub fn warm_up(&mut self, path: &str) -> Result<(), ServeError> {
+        if self.models.contains_key(path) {
+            return Ok(());
+        }
+        let (model, source) = checkpoint::load_model_or_recover(path)
+            .map_err(|e| ServeError::Checkpoint(e.to_string()))?;
+        if source == RecoverySource::Backup {
+            self.stats.checkpoint_recoveries += 1;
+        }
+        self.models.insert(path.to_string(), model);
+        Ok(())
+    }
+
     /// Number of models currently held warm.
     pub fn warm_models(&self) -> usize {
         self.models.len()
+    }
+
+    /// Checkpoint paths currently warm, sorted for determinism. The server
+    /// snapshots these so a respawned worker can rebuild the registry.
+    pub fn warm_paths(&self) -> Vec<String> {
+        let mut paths: Vec<String> = self.models.keys().cloned().collect();
+        paths.sort();
+        paths
+    }
+}
+
+/// Client-side retry policy for [`InferenceServer::request`]: retryable
+/// errors (see [`ServeError::is_retryable`]) are retried up to
+/// `max_attempts` total attempts with exponential backoff (`backoff`,
+/// doubling per failure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, counting the first (`1` disables retries).
+    pub max_attempts: u32,
+    /// Sleep before the first retry; doubles on each further failure.
+    pub backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries: one attempt, errors surface immediately.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    /// Backoff before retry number `attempt` (1-based): `backoff << (attempt - 1)`.
+    fn delay(&self, attempt: u32) -> Duration {
+        self.backoff
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff: Duration::from_millis(1),
+        }
     }
 }
 
@@ -357,6 +515,12 @@ pub struct ServerConfig {
     pub capacity: usize,
     /// Row budget per coalesced batch (see [`BatchEngine::new`]).
     pub max_batch_rows: usize,
+    /// Deadline applied (from submission time) to requests that carry no
+    /// [`Request::deadline`] of their own. `None` means such requests wait
+    /// indefinitely.
+    pub default_timeout: Option<Duration>,
+    /// Retry policy for [`InferenceServer::request`].
+    pub retry: RetryPolicy,
 }
 
 impl Default for ServerConfig {
@@ -364,19 +528,52 @@ impl Default for ServerConfig {
         ServerConfig {
             capacity: 256,
             max_batch_rows: 64,
+            default_timeout: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
 
+/// An accepted request with its server-assigned id and effective deadline
+/// (the request's own, or submission time + default timeout).
+struct QueuedJob {
+    id: u64,
+    req: Request,
+    deadline: Option<Instant>,
+}
+
 #[derive(Default)]
 struct ServerState {
-    queue: VecDeque<(u64, Request)>,
+    queue: VecDeque<QueuedJob>,
     results: HashMap<u64, Result<Matrix, ServeError>>,
+    /// Issued, not-yet-consumed ids → effective deadline. Absence (and no
+    /// queued result) means the id was never issued: [`ServeError::UnknownTicket`].
+    outstanding: HashMap<u64, Option<Instant>>,
+    /// Ids whose waiter gave up at the deadline while the worker held them;
+    /// the worker discards their results instead of publishing.
+    abandoned: HashSet<u64>,
+    /// Ids the worker has stolen and not yet resolved. A worker panic fails
+    /// exactly these with [`ServeError::WorkerGone`].
+    in_flight: Vec<u64>,
+    /// Checkpoint paths the current worker generation holds warm; a
+    /// respawned worker rebuilds its registry from these.
+    warm_paths: Vec<String>,
     next_id: u64,
     paused: bool,
     shutting_down: bool,
-    worker_done: bool,
-    final_stats: Option<EngineStats>,
+    /// The worker thread is running (spawned and neither exited nor
+    /// crashed).
+    worker_alive: bool,
+    /// The worker panicked and has not been respawned yet.
+    worker_crashed: bool,
+    /// Times the supervisor respawned a crashed worker.
+    respawns: u64,
+    /// Requests that resolved with [`ServeError::DeadlineExceeded`].
+    deadline_shed: u64,
+    /// Counters folded in from finished worker generations.
+    stats_done: EngineStats,
+    /// Live counters of the current worker generation.
+    stats_live: EngineStats,
 }
 
 struct Shared {
@@ -387,22 +584,206 @@ struct Shared {
     done_cv: Condvar,
 }
 
-/// A worker thread serving batched inference over a [`BatchEngine`].
+/// Locks the server state, recovering from poisoning: a panic elsewhere
+/// must not abort every subsequent client call. The state is kept
+/// consistent across panics by [`PanicGuard`], so the recovered guard is
+/// safe to use.
+fn lock_state(shared: &Shared) -> MutexGuard<'_, ServerState> {
+    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Fails queued requests whose deadline already passed (load-shedding
+/// before they waste a batch slot) and wakes their waiters.
+fn shed_expired(state: &mut ServerState, shared: &Shared) {
+    let now = Instant::now();
+    let mut shed_any = false;
+    let mut kept = VecDeque::with_capacity(state.queue.len());
+    for job in state.queue.drain(..) {
+        match job.deadline {
+            Some(d) if d <= now => {
+                state.deadline_shed += 1;
+                shed_any = true;
+                if !state.abandoned.remove(&job.id) {
+                    state
+                        .results
+                        .insert(job.id, Err(ServeError::DeadlineExceeded));
+                }
+            }
+            _ => kept.push_back(job),
+        }
+    }
+    state.queue = kept;
+    if shed_any {
+        shared.done_cv.notify_all();
+    }
+}
+
+/// Runs on every worker exit path. On a panic (a model bug or an injected
+/// [`FaultPoint::WorkerPanic`]) it restores the invariant that every
+/// accepted request resolves: all in-flight ids fail with
+/// [`ServeError::WorkerGone`], counters are folded into the generation
+/// total, and both condvars wake so waiters observe the crash immediately.
+struct PanicGuard {
+    shared: Arc<Shared>,
+}
+
+impl Drop for PanicGuard {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return;
+        }
+        let mut state = lock_state(&self.shared);
+        for id in std::mem::take(&mut state.in_flight) {
+            if state.abandoned.remove(&id) {
+                continue; // waiter already gave up at its deadline
+            }
+            state.results.insert(id, Err(ServeError::WorkerGone));
+        }
+        let live = std::mem::take(&mut state.stats_live);
+        state.stats_done.absorb(live);
+        state.worker_alive = false;
+        state.worker_crashed = true;
+        self.shared.done_cv.notify_all();
+        self.shared.work_cv.notify_all();
+    }
+}
+
+fn spawn_worker(shared: Arc<Shared>, max_batch_rows: usize) -> JoinHandle<()> {
+    std::thread::spawn(move || run_worker(shared, max_batch_rows))
+}
+
+fn run_worker(shared: Arc<Shared>, max_batch_rows: usize) {
+    let _guard = PanicGuard {
+        shared: Arc::clone(&shared),
+    };
+    let mut engine = BatchEngine::new(max_batch_rows);
+    // Respawn path: rebuild the warm registry the dead generation held.
+    // Paths that no longer load are skipped here; requests that still
+    // target them get the typed checkpoint error per batch.
+    let warm: Vec<String> = lock_state(&shared).warm_paths.clone();
+    for path in &warm {
+        let _ = engine.warm_up(path);
+    }
+
+    let mut state = lock_state(&shared);
+    loop {
+        shed_expired(&mut state, &shared);
+        if (state.queue.is_empty() || state.paused) && !state.shutting_down {
+            // Sleep until new work — or until the earliest queued deadline,
+            // so paused/idle servers still shed expired requests promptly.
+            let next_deadline = state.queue.iter().filter_map(|j| j.deadline).min();
+            state = match next_deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if d <= now {
+                        continue; // shed on the next loop iteration
+                    }
+                    let (guard, _) = shared
+                        .work_cv
+                        .wait_timeout(state, d - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    guard
+                }
+                None => shared
+                    .work_cv
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner),
+            };
+            continue;
+        }
+        if state.queue.is_empty() && state.shutting_down {
+            break;
+        }
+        // Steal the accepted queue and run it without the lock, so clients
+        // keep submitting (and hitting backpressure) while the batch
+        // executes. `in_flight` records the stolen ids: they are the blast
+        // radius if this generation panics mid-batch.
+        let stolen: Vec<QueuedJob> = state.queue.drain(..).collect();
+        state.in_flight = stolen.iter().map(|j| j.id).collect();
+        drop(state);
+
+        // Chaos hook: fires exactly where a real model panic would land —
+        // after stealing, with tickets in flight and the lock released.
+        if faults::trigger(FaultPoint::WorkerPanic).is_some() {
+            panic!("injected worker panic (sqvae::faults)");
+        }
+
+        let mut tickets = Vec::with_capacity(stolen.len());
+        let mut rejected = Vec::new();
+        for job in stolen {
+            match engine.submit(job.req) {
+                Ok(t) => tickets.push((job.id, t)),
+                Err(e) => rejected.push((job.id, e)),
+            }
+        }
+        engine.drain();
+
+        state = lock_state(&shared);
+        state.in_flight.clear();
+        for (id, t) in tickets {
+            let result = engine
+                .take_result(t)
+                .expect("drained engine has every result");
+            publish_result(&mut state, id, result);
+        }
+        for (id, e) in rejected {
+            publish_result(&mut state, id, Err(e));
+        }
+        state.warm_paths = engine.warm_paths();
+        state.stats_live = engine.stats();
+        shared.done_cv.notify_all();
+    }
+    // Clean exit: fold this generation's counters into the running total.
+    state.stats_done.absorb(engine.stats());
+    state.stats_live = EngineStats::default();
+    state.worker_alive = false;
+    shared.done_cv.notify_all();
+}
+
+/// Publishes one result, honouring abandonment: a waiter that timed out
+/// while the worker held the id has already consumed its error, so the
+/// late result is dropped instead of leaking into `results`.
+fn publish_result(state: &mut ServerState, id: u64, result: Result<Matrix, ServeError>) {
+    if state.abandoned.remove(&id) {
+        return;
+    }
+    state.results.insert(id, result);
+}
+
+/// A snapshot of the server's liveness counters (see
+/// [`InferenceServer::health`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerHealth {
+    /// The worker thread is currently running.
+    pub worker_alive: bool,
+    /// Times the supervisor respawned a crashed worker.
+    pub respawns: u64,
+    /// Requests that resolved with [`ServeError::DeadlineExceeded`].
+    pub deadline_shed: u64,
+    /// Accepted requests not yet processed.
+    pub pending: usize,
+}
+
+/// A supervised worker thread serving batched inference over a
+/// [`BatchEngine`].
 ///
 /// Submissions are bounded by [`ServerConfig::capacity`]; the worker steals
 /// the whole queue at once, coalesces it, runs it, and publishes results.
+/// A worker panic fails only the tickets it held in flight
+/// ([`ServeError::WorkerGone`]); the supervisor respawns the worker on the
+/// next client call with the warm-model registry rebuilt from checkpoints.
 /// [`InferenceServer::shutdown`] drains everything already accepted before
 /// the thread exits.
 pub struct InferenceServer {
     shared: Arc<Shared>,
-    worker: Option<JoinHandle<()>>,
-    capacity: usize,
+    worker: Mutex<Option<JoinHandle<()>>>,
+    config: ServerConfig,
 }
 
 impl std::fmt::Debug for InferenceServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("InferenceServer")
-            .field("capacity", &self.capacity)
+            .field("capacity", &self.config.capacity)
             .finish()
     }
 }
@@ -411,61 +792,55 @@ impl InferenceServer {
     /// Spawns the worker thread and returns the handle clients submit to.
     pub fn start(config: ServerConfig) -> Self {
         let shared = Arc::new(Shared {
-            state: Mutex::new(ServerState::default()),
+            state: Mutex::new(ServerState {
+                worker_alive: true,
+                ..ServerState::default()
+            }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
         });
-        let worker_shared = Arc::clone(&shared);
-        let max_batch_rows = config.max_batch_rows;
-        let worker = std::thread::spawn(move || {
-            let mut engine = BatchEngine::new(max_batch_rows);
-            let mut guard = worker_shared.state.lock().expect("server lock");
-            loop {
-                if (guard.queue.is_empty() || guard.paused) && !guard.shutting_down {
-                    guard = worker_shared.work_cv.wait(guard).expect("server lock");
-                    continue;
-                }
-                if guard.queue.is_empty() && guard.shutting_down {
-                    break;
-                }
-                // Steal the accepted queue and run it without the lock, so
-                // clients keep submitting (and hitting backpressure) while
-                // the batch executes.
-                let stolen: Vec<(u64, Request)> = guard.queue.drain(..).collect();
-                drop(guard);
-                let mut tickets = Vec::with_capacity(stolen.len());
-                let mut rejected = Vec::new();
-                for (id, req) in stolen {
-                    match engine.submit(req) {
-                        Ok(t) => tickets.push((id, t)),
-                        Err(e) => rejected.push((id, e)),
-                    }
-                }
-                engine.drain();
-                guard = worker_shared.state.lock().expect("server lock");
-                for (id, t) in tickets {
-                    let result = engine
-                        .take_result(t)
-                        .expect("drained engine has every result");
-                    guard.results.insert(id, result);
-                }
-                for (id, e) in rejected {
-                    guard.results.insert(id, Err(e));
-                }
-                worker_shared.done_cv.notify_all();
-            }
-            guard.worker_done = true;
-            guard.final_stats = Some(engine.stats());
-            worker_shared.done_cv.notify_all();
-        });
+        let worker = spawn_worker(Arc::clone(&shared), config.max_batch_rows);
         InferenceServer {
             shared,
-            worker: Some(worker),
-            capacity: config.capacity,
+            worker: Mutex::new(Some(worker)),
+            config,
         }
     }
 
+    /// Respawns the worker if it crashed. Called at the entry of every
+    /// client operation, so the server heals on the next touch after a
+    /// panic without a dedicated monitor thread. During shutdown the
+    /// respawn only happens when accepted work still needs draining.
+    fn supervise(&self) {
+        fn respawn_needed(state: &ServerState) -> bool {
+            state.worker_crashed && (!state.shutting_down || !state.queue.is_empty())
+        }
+        if !respawn_needed(&lock_state(&self.shared)) {
+            return;
+        }
+        // Lock order everywhere: worker slot, then state.
+        let mut slot = self.worker.lock().unwrap_or_else(PoisonError::into_inner);
+        {
+            let mut state = lock_state(&self.shared);
+            if !respawn_needed(&state) {
+                return; // another client already respawned
+            }
+            state.worker_crashed = false;
+            state.worker_alive = true;
+            state.respawns += 1;
+        }
+        if let Some(handle) = slot.take() {
+            let _ = handle.join(); // dead thread: returns immediately
+        }
+        *slot = Some(spawn_worker(
+            Arc::clone(&self.shared),
+            self.config.max_batch_rows,
+        ));
+    }
+
     /// Queues a request, returning an id for [`InferenceServer::wait`].
+    /// The effective deadline — [`Request::deadline`] or submission time +
+    /// [`ServerConfig::default_timeout`] — is fixed here.
     ///
     /// # Errors
     ///
@@ -477,84 +852,194 @@ impl InferenceServer {
         if req.op.rows() == 0 {
             return Err(ServeError::EmptyRequest);
         }
-        let mut state = self.shared.state.lock().expect("server lock");
+        self.supervise();
+        // Chaos hook: models a burst that saturated the queue before us.
+        if faults::trigger(FaultPoint::QueueSaturation).is_some() {
+            return Err(ServeError::QueueFull {
+                capacity: self.config.capacity,
+            });
+        }
+        let mut state = lock_state(&self.shared);
         if state.shutting_down {
             return Err(ServeError::ShuttingDown);
         }
-        if state.queue.len() >= self.capacity {
+        if state.queue.len() >= self.config.capacity {
             return Err(ServeError::QueueFull {
-                capacity: self.capacity,
+                capacity: self.config.capacity,
             });
         }
         let id = state.next_id;
         state.next_id += 1;
-        state.queue.push_back((id, req));
+        let deadline = req
+            .deadline
+            .or_else(|| self.config.default_timeout.map(|t| Instant::now() + t));
+        state.outstanding.insert(id, deadline);
+        state.queue.push_back(QueuedJob { id, req, deadline });
         self.shared.work_cv.notify_one();
         Ok(id)
     }
 
     /// Blocks until the request behind `id` completes and returns its
-    /// result.
+    /// result. Never blocks past the request's deadline, and never blocks
+    /// at all for ids the server did not issue.
     ///
     /// # Errors
     ///
-    /// The request's own failure, or [`ServeError::WorkerGone`] when the
-    /// worker died before answering.
+    /// The request's own failure, [`ServeError::WorkerGone`] when the
+    /// worker died holding it (and could not be respawned),
+    /// [`ServeError::DeadlineExceeded`] past the deadline, or
+    /// [`ServeError::UnknownTicket`] for ids never issued or already
+    /// consumed.
     pub fn wait(&self, id: u64) -> Result<Matrix, ServeError> {
-        let mut state = self.shared.state.lock().expect("server lock");
+        self.supervise();
+        let mut state = lock_state(&self.shared);
         loop {
             if let Some(result) = state.results.remove(&id) {
+                state.outstanding.remove(&id);
                 return result;
             }
-            if state.worker_done {
+            let Some(&deadline) = state.outstanding.get(&id) else {
+                return Err(ServeError::UnknownTicket { id });
+            };
+            if state.worker_crashed {
+                drop(state);
+                self.supervise();
+                state = lock_state(&self.shared);
+                if state.worker_crashed {
+                    // Respawn declined (shutdown with nothing to drain):
+                    // this ticket can never resolve, so fail it typed.
+                    state.outstanding.remove(&id);
+                    return Err(ServeError::WorkerGone);
+                }
+                continue;
+            }
+            if !state.worker_alive {
+                // Clean worker exit with the ticket unresolved (shutdown
+                // raced the waiter).
+                state.outstanding.remove(&id);
                 return Err(ServeError::WorkerGone);
             }
-            state = self.shared.done_cv.wait(state).expect("server lock");
+            match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if d <= now {
+                        // Give up: cancel if still queued; if the worker
+                        // already holds it, mark it abandoned so the late
+                        // result is discarded rather than leaked.
+                        let before = state.queue.len();
+                        state.queue.retain(|j| j.id != id);
+                        let was_queued = state.queue.len() != before;
+                        if !was_queued && state.in_flight.contains(&id) {
+                            state.abandoned.insert(id);
+                        }
+                        state.outstanding.remove(&id);
+                        state.deadline_shed += 1;
+                        return Err(ServeError::DeadlineExceeded);
+                    }
+                    let (guard, _) = self
+                        .shared
+                        .done_cv
+                        .wait_timeout(state, d - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    state = guard;
+                }
+                None => {
+                    state = self
+                        .shared
+                        .done_cv
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
         }
     }
 
-    /// Submit + wait in one blocking call.
+    /// Submit + wait in one blocking call, retrying retryable errors
+    /// ([`ServeError::is_retryable`]) per [`ServerConfig::retry`] with
+    /// exponential backoff. A [`Request::deadline`] is absolute: the whole
+    /// retry loop shares one budget.
     ///
     /// # Errors
     ///
-    /// See [`InferenceServer::submit`] and [`InferenceServer::wait`].
+    /// See [`InferenceServer::submit`] and [`InferenceServer::wait`]; the
+    /// last error once attempts are exhausted.
     pub fn request(&self, req: Request) -> Result<Matrix, ServeError> {
-        let id = self.submit(req)?;
-        self.wait(id)
+        let policy = self.config.retry;
+        let attempts = policy.max_attempts.max(1);
+        let mut failures = 0u32;
+        loop {
+            let outcome = self.submit(req.clone()).and_then(|id| self.wait(id));
+            match outcome {
+                Err(e) if e.is_retryable() && failures + 1 < attempts => {
+                    failures += 1;
+                    std::thread::sleep(policy.delay(failures));
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Stops the worker from picking up new batches (already-running work
     /// finishes). Accepted requests keep queuing until the bounded queue
     /// fills, at which point submissions see [`ServeError::QueueFull`] —
-    /// the maintenance lever for load-shedding upstream.
+    /// the maintenance lever for load-shedding upstream. Deadlines keep
+    /// being enforced while paused.
     pub fn pause(&self) {
-        self.shared.state.lock().expect("server lock").paused = true;
+        lock_state(&self.shared).paused = true;
     }
 
     /// Resumes batch processing after [`InferenceServer::pause`].
     pub fn resume(&self) {
-        self.shared.state.lock().expect("server lock").paused = false;
+        lock_state(&self.shared).paused = false;
         self.shared.work_cv.notify_one();
     }
 
-    /// Graceful shutdown: stops accepting new work, drains every accepted
-    /// request (pause is lifted), joins the worker, and returns its final
-    /// counters.
-    pub fn shutdown(mut self) -> EngineStats {
-        self.begin_shutdown();
-        if let Some(handle) = self.worker.take() {
-            let _ = handle.join();
+    /// Liveness counters: worker status, respawns, deadline sheds, queue
+    /// depth.
+    pub fn health(&self) -> ServerHealth {
+        let state = lock_state(&self.shared);
+        ServerHealth {
+            worker_alive: state.worker_alive,
+            respawns: state.respawns,
+            deadline_shed: state.deadline_shed,
+            pending: state.queue.len(),
         }
-        self.shared
-            .state
-            .lock()
-            .expect("server lock")
-            .final_stats
-            .unwrap_or_default()
+    }
+
+    /// Graceful shutdown: stops accepting new work, drains every accepted
+    /// request (pause is lifted), joins the worker, and returns counters
+    /// totalled across all worker generations. If the worker crashes while
+    /// draining, it is respawned until the queue empties; if the drain
+    /// cannot complete, leftovers resolve as [`ServeError::ShuttingDown`]
+    /// rather than hanging their waiters.
+    pub fn shutdown(self) -> EngineStats {
+        loop {
+            self.supervise();
+            self.begin_shutdown();
+            let handle = self
+                .worker
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take();
+            if let Some(handle) = handle {
+                let _ = handle.join();
+            }
+            let mut state = lock_state(&self.shared);
+            if state.worker_crashed && !state.queue.is_empty() {
+                continue; // crashed mid-drain: respawn and keep draining
+            }
+            while let Some(job) = state.queue.pop_front() {
+                publish_result(&mut state, job.id, Err(ServeError::ShuttingDown));
+            }
+            self.shared.done_cv.notify_all();
+            let mut stats = state.stats_done;
+            stats.absorb(state.stats_live);
+            return stats;
+        }
     }
 
     fn begin_shutdown(&self) {
-        let mut state = self.shared.state.lock().expect("server lock");
+        let mut state = lock_state(&self.shared);
         state.shutting_down = true;
         state.paused = false;
         self.shared.work_cv.notify_all();
@@ -563,8 +1048,13 @@ impl InferenceServer {
 
 impl Drop for InferenceServer {
     fn drop(&mut self) {
-        if let Some(handle) = self.worker.take() {
-            self.begin_shutdown();
+        self.begin_shutdown();
+        let handle = self
+            .worker
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(handle) = handle {
             let _ = handle.join();
         }
     }
@@ -623,10 +1113,7 @@ mod tests {
             .iter()
             .map(|x| {
                 engine
-                    .submit(Request {
-                        model: path.clone(),
-                        op: Op::Reconstruct(x.clone()),
-                    })
+                    .submit(Request::new(path.clone(), Op::Reconstruct(x.clone())))
                     .unwrap()
             })
             .collect();
@@ -652,29 +1139,17 @@ mod tests {
         let mut engine = BatchEngine::new(64);
         let x = Matrix::from_fn(3, 16, |r, c| ((r * 16 + c) as f64).sin());
         let t_enc = engine
-            .submit(Request {
-                model: path.clone(),
-                op: Op::Encode(x.clone()),
-            })
+            .submit(Request::new(path.clone(), Op::Encode(x.clone())))
             .unwrap();
         let z = Matrix::from_fn(2, direct.latent_dim(), |r, c| (r + c) as f64 * 0.1);
         let t_dec = engine
-            .submit(Request {
-                model: path.clone(),
-                op: Op::Decode(z.clone()),
-            })
+            .submit(Request::new(path.clone(), Op::Decode(z.clone())))
             .unwrap();
         let t_s1 = engine
-            .submit(Request {
-                model: path.clone(),
-                op: Op::Sample { n: 2, seed: 11 },
-            })
+            .submit(Request::new(path.clone(), Op::Sample { n: 2, seed: 11 }))
             .unwrap();
         let t_s2 = engine
-            .submit(Request {
-                model: path,
-                op: Op::Sample { n: 3, seed: 12 },
-            })
+            .submit(Request::new(path, Op::Sample { n: 3, seed: 12 }))
             .unwrap();
         engine.drain();
         // Mixed kinds cannot share a batch; the two samples can.
@@ -709,10 +1184,10 @@ mod tests {
         let mut engine = BatchEngine::new(4);
         for _ in 0..3 {
             engine
-                .submit(Request {
-                    model: path.clone(),
-                    op: Op::Reconstruct(Matrix::filled(3, 16, 0.2)),
-                })
+                .submit(Request::new(
+                    path.clone(),
+                    Op::Reconstruct(Matrix::filled(3, 16, 0.2)),
+                ))
                 .unwrap();
         }
         engine.drain();
@@ -727,10 +1202,7 @@ mod tests {
         let mut engine = BatchEngine::new(8);
         for _ in 0..3 {
             engine
-                .submit(Request {
-                    model: path.clone(),
-                    op: Op::Sample { n: 1, seed: 0 },
-                })
+                .submit(Request::new(path.clone(), Op::Sample { n: 1, seed: 0 }))
                 .unwrap();
             engine.drain();
         }
@@ -741,10 +1213,10 @@ mod tests {
     fn engine_surfaces_checkpoint_and_empty_errors() {
         let mut engine = BatchEngine::new(8);
         let t = engine
-            .submit(Request {
-                model: temp_path("does-not-exist.ckpt"),
-                op: Op::Sample { n: 1, seed: 0 },
-            })
+            .submit(Request::new(
+                temp_path("does-not-exist.ckpt"),
+                Op::Sample { n: 1, seed: 0 },
+            ))
             .unwrap();
         engine.drain();
         assert!(matches!(
@@ -752,10 +1224,7 @@ mod tests {
             Some(Err(ServeError::Checkpoint(_)))
         ));
         let err = engine
-            .submit(Request {
-                model: "x".into(),
-                op: Op::Sample { n: 0, seed: 0 },
-            })
+            .submit(Request::new("x", Op::Sample { n: 0, seed: 0 }))
             .unwrap_err();
         assert_eq!(err, ServeError::EmptyRequest);
     }
@@ -766,17 +1235,14 @@ mod tests {
         let mut engine = BatchEngine::new(64);
         // Wrong width: 16-feature model fed 8-wide rows.
         let bad = engine
-            .submit(Request {
-                model: path.clone(),
-                op: Op::Reconstruct(Matrix::filled(1, 8, 0.1)),
-            })
+            .submit(Request::new(
+                path.clone(),
+                Op::Reconstruct(Matrix::filled(1, 8, 0.1)),
+            ))
             .unwrap();
         let x = Matrix::filled(1, 16, 0.3);
         let good = engine
-            .submit(Request {
-                model: path,
-                op: Op::Reconstruct(x.clone()),
-            })
+            .submit(Request::new(path, Op::Reconstruct(x.clone())))
             .unwrap();
         engine.drain();
         // Different widths → different batch keys → independent fates.
@@ -797,23 +1263,18 @@ mod tests {
         let server = InferenceServer::start(ServerConfig {
             capacity: 16,
             max_batch_rows: 32,
+            ..ServerConfig::default()
         });
         let x = Matrix::from_fn(2, 16, |r, c| (r * 16 + c) as f64 / 32.0);
         let served = server
-            .request(Request {
-                model: path.clone(),
-                op: Op::Reconstruct(x.clone()),
-            })
+            .request(Request::new(path.clone(), Op::Reconstruct(x.clone())))
             .unwrap();
         assert_eq!(
             rows_bits(&served),
             rows_bits(&direct.reconstruct(&x).unwrap())
         );
         let sampled = server
-            .request(Request {
-                model: path,
-                op: Op::Sample { n: 3, seed: 9 },
-            })
+            .request(Request::new(path, Op::Sample { n: 3, seed: 9 }))
             .unwrap();
         let want = direct.sample(3, &mut StdRng::seed_from_u64(9)).unwrap();
         assert_eq!(rows_bits(&sampled), rows_bits(&want));
@@ -827,13 +1288,11 @@ mod tests {
         let server = InferenceServer::start(ServerConfig {
             capacity: 3,
             max_batch_rows: 64,
+            ..ServerConfig::default()
         });
         // Paused worker: accepted requests pile up deterministically.
         server.pause();
-        let req = |seed: u64| Request {
-            model: path.clone(),
-            op: Op::Sample { n: 1, seed },
-        };
+        let req = |seed: u64| Request::new(path.clone(), Op::Sample { n: 1, seed });
         let ids: Vec<u64> = (0..3).map(|s| server.submit(req(s)).unwrap()).collect();
         assert_eq!(
             server.submit(req(99)).unwrap_err(),
@@ -866,27 +1325,157 @@ mod tests {
         let server = InferenceServer::start(ServerConfig {
             capacity: 8,
             max_batch_rows: 64,
+            ..ServerConfig::default()
         });
         server.pause();
         let id = server
-            .submit(Request {
-                model: path.clone(),
-                op: Op::Sample { n: 2, seed: 1 },
-            })
+            .submit(Request::new(path.clone(), Op::Sample { n: 2, seed: 1 }))
             .unwrap();
         server.begin_shutdown();
         assert_eq!(
             server
-                .submit(Request {
-                    model: path,
-                    op: Op::Sample { n: 1, seed: 2 },
-                })
+                .submit(Request::new(path, Op::Sample { n: 1, seed: 2 }))
                 .unwrap_err(),
             ServeError::ShuttingDown
         );
         // The accepted request still completes.
         assert_eq!(server.wait(id).unwrap().shape(), (2, 16));
         server.shutdown();
+    }
+
+    #[test]
+    fn wait_on_an_unknown_ticket_is_a_typed_error_not_a_hang() {
+        let server = InferenceServer::start(ServerConfig::default());
+        assert_eq!(
+            server.wait(12345).unwrap_err(),
+            ServeError::UnknownTicket { id: 12345 }
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn a_consumed_ticket_cannot_be_waited_on_twice() {
+        let (path, _) = published_model("consume.ckpt", 20);
+        let server = InferenceServer::start(ServerConfig::default());
+        let id = server
+            .submit(Request::new(path, Op::Sample { n: 1, seed: 3 }))
+            .unwrap();
+        assert!(server.wait(id).is_ok());
+        assert_eq!(
+            server.wait(id).unwrap_err(),
+            ServeError::UnknownTicket { id }
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn queued_requests_past_their_deadline_are_load_shed() {
+        let (path, _) = published_model("deadline.ckpt", 21);
+        let server = InferenceServer::start(ServerConfig::default());
+        // Paused worker: the request sits in-queue past its (already
+        // expired) deadline and must be shed, not served.
+        server.pause();
+        let req = Request::new(path, Op::Sample { n: 1, seed: 0 }).with_timeout(Duration::ZERO);
+        let id = server.submit(req).unwrap();
+        assert_eq!(server.wait(id).unwrap_err(), ServeError::DeadlineExceeded);
+        assert!(server.health().deadline_shed >= 1);
+        server.resume();
+        server.shutdown();
+    }
+
+    #[test]
+    fn default_timeout_covers_requests_without_their_own_deadline() {
+        let (path, _) = published_model("default-timeout.ckpt", 22);
+        let server = InferenceServer::start(ServerConfig {
+            default_timeout: Some(Duration::from_millis(5)),
+            ..ServerConfig::default()
+        });
+        server.pause();
+        let id = server
+            .submit(Request::new(path, Op::Sample { n: 1, seed: 0 }))
+            .unwrap();
+        assert_eq!(server.wait(id).unwrap_err(), ServeError::DeadlineExceeded);
+        server.resume();
+        server.shutdown();
+    }
+
+    #[test]
+    fn retryable_errors_are_exactly_queue_full_and_worker_gone() {
+        assert!(ServeError::QueueFull { capacity: 1 }.is_retryable());
+        assert!(ServeError::WorkerGone.is_retryable());
+        assert!(!ServeError::DeadlineExceeded.is_retryable());
+        assert!(!ServeError::ShuttingDown.is_retryable());
+        assert!(!ServeError::EmptyRequest.is_retryable());
+        assert!(!ServeError::UnknownTicket { id: 0 }.is_retryable());
+    }
+
+    #[test]
+    fn request_retries_ride_out_queue_full_backpressure() {
+        let (path, _) = published_model("retry.ckpt", 23);
+        let server = InferenceServer::start(ServerConfig {
+            capacity: 1,
+            retry: RetryPolicy {
+                max_attempts: 50,
+                backoff: Duration::from_millis(1),
+            },
+            ..ServerConfig::default()
+        });
+        // Fill the 1-slot queue while paused so the next request sees
+        // QueueFull and has to retry until resume() drains the slot.
+        server.pause();
+        let parked = server
+            .submit(Request::new(path.clone(), Op::Sample { n: 1, seed: 1 }))
+            .unwrap();
+        let result = std::thread::scope(|scope| {
+            let server = &server;
+            let path = path.clone();
+            let h = scope
+                .spawn(move || server.request(Request::new(path, Op::Sample { n: 1, seed: 2 })));
+            std::thread::sleep(Duration::from_millis(10));
+            server.resume();
+            h.join().unwrap()
+        });
+        assert_eq!(result.unwrap().shape(), (1, 16));
+        assert_eq!(server.wait(parked).unwrap().shape(), (1, 16));
+        server.shutdown();
+    }
+
+    #[test]
+    fn health_reports_a_live_unremarkable_server() {
+        let server = InferenceServer::start(ServerConfig::default());
+        let health = server.health();
+        assert!(health.worker_alive);
+        assert_eq!(health.respawns, 0);
+        assert_eq!(health.pending, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_absorb_adds_counts_and_maxes_the_high_water_mark() {
+        let mut a = EngineStats {
+            requests: 3,
+            batches: 2,
+            rows: 10,
+            largest_batch_requests: 2,
+            checkpoint_recoveries: 1,
+        };
+        a.absorb(EngineStats {
+            requests: 5,
+            batches: 1,
+            rows: 7,
+            largest_batch_requests: 4,
+            checkpoint_recoveries: 0,
+        });
+        assert_eq!(
+            a,
+            EngineStats {
+                requests: 8,
+                batches: 3,
+                rows: 17,
+                largest_batch_requests: 4,
+                checkpoint_recoveries: 1,
+            }
+        );
     }
 
     #[test]
