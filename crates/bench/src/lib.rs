@@ -45,7 +45,7 @@ pub struct ExpArgs {
     /// defaults to the `SQVAE_THREADS` environment variable). Results are
     /// bit-identical for every setting — only wall-clock changes.
     pub threads: Threads,
-    /// Simulator backend for quantum layers (`--backend dense|fused`;
+    /// Simulator backend for quantum layers (`--backend dense|fused|soa`;
     /// defaults to the `SQVAE_BACKEND` environment variable). Backends agree
     /// to ~1e-15 — only wall-clock changes.
     pub backend: BackendKind,
@@ -74,7 +74,7 @@ impl ExpArgs {
     /// Parses `std::env::args()`-style arguments (skipping the binary name).
     ///
     /// Recognized: `--full`, `--quick`, `--panel <name>`, `--seed <n>`,
-    /// `--threads <auto|off|n>`, `--backend <dense|fused>`,
+    /// `--threads <auto|off|n>`, `--backend <dense|fused|soa>`,
     /// `--save <path>`, `--load <path>`. Unknown flags are ignored so
     /// wrappers can pass extras through.
     pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
@@ -335,6 +335,7 @@ mod tests {
     fn parse_backend_flag() {
         assert_eq!(args(&["--backend", "fused"]).backend, BackendKind::Fused);
         assert_eq!(args(&["--backend", "dense"]).backend, BackendKind::Dense);
+        assert_eq!(args(&["--backend", "soa"]).backend, BackendKind::Soa);
         // Bad specs keep the default rather than aborting an experiment.
         let default = ExpArgs::default().backend;
         assert_eq!(args(&["--backend", "quantum"]).backend, default);

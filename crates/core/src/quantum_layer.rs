@@ -19,9 +19,10 @@
 //! sequential one.
 //!
 //! Which simulator executes the tape is the policy's second knob,
-//! [`BackendKind`]: every row dispatches onto the dense reference register
-//! or the fused-kernel backend (`SQVAE_BACKEND`, `TrainConfig::backend`,
-//! [`sqvae_nn::ExecPolicy`]); backends agree to ≤ 1e-12.
+//! [`BackendKind`]: every row dispatches onto the dense reference register,
+//! the fused-kernel backend, or the structure-of-arrays SIMD backend
+//! (`SQVAE_BACKEND`, `TrainConfig::backend`, [`sqvae_nn::ExecPolicy`]);
+//! backends agree to ≤ 1e-12.
 
 use rand::Rng;
 use sqvae_nn::parallel::{self, Threads};
@@ -32,7 +33,9 @@ use sqvae_quantum::embed::{
 use sqvae_quantum::grad::adjoint;
 use sqvae_quantum::grad::CircuitGradients;
 use sqvae_quantum::templates::{strongly_entangling_layers, EntangleRange};
-use sqvae_quantum::{Backend, Circuit, CompiledTape, FusedDenseBackend, StateVector};
+use sqvae_quantum::{
+    Backend, Circuit, CompiledTape, FusedDenseBackend, SoaDenseBackend, StateVector,
+};
 
 /// How classical data enters the circuit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -237,6 +240,63 @@ impl QuantumLayer {
         match self.exec.backend {
             BackendKind::Dense => self.forward_row_tape_on::<StateVector>(tape, row),
             BackendKind::Fused => self.forward_row_tape_on::<FusedDenseBackend>(tape, row),
+            BackendKind::Soa => self.forward_row_tape_on::<SoaDenseBackend>(tape, row),
+        }
+    }
+
+    /// Like [`Self::forward_row_tape`], but writes the row's outputs into
+    /// `slot` through the worker-local `scratch` buffer instead of
+    /// returning a fresh `Vec` — the allocation-free per-row body of
+    /// [`Module::forward`]'s `fill_rows` sharding (probability readout goes
+    /// through [`CompiledTape::probabilities_into_on`], so the `2^n`-wide
+    /// buffer is reused across every row a worker owns).
+    fn forward_row_tape_into(
+        &self,
+        tape: &CompiledTape,
+        row: &[f64],
+        scratch: &mut Vec<f64>,
+        slot: &mut [f64],
+    ) {
+        match self.exec.backend {
+            BackendKind::Dense => {
+                self.forward_row_tape_into_on::<StateVector>(tape, row, scratch, slot)
+            }
+            BackendKind::Fused => {
+                self.forward_row_tape_into_on::<FusedDenseBackend>(tape, row, scratch, slot)
+            }
+            BackendKind::Soa => {
+                self.forward_row_tape_into_on::<SoaDenseBackend>(tape, row, scratch, slot)
+            }
+        }
+    }
+
+    fn forward_row_tape_into_on<B: Backend>(
+        &self,
+        tape: &CompiledTape,
+        row: &[f64],
+        scratch: &mut Vec<f64>,
+        slot: &mut [f64],
+    ) {
+        let (inputs, initial): (&[f64], Option<B>) = match self.input_mode {
+            QuantumInput::Amplitude { .. } => {
+                (&[], Some(B::from_statevector(self.embedded_initial(row))))
+            }
+            QuantumInput::Angle => (row, None),
+        };
+        match self.output_mode {
+            QuantumOutput::ExpectationZ => {
+                let state = tape
+                    .execute_on(inputs, initial.as_ref())
+                    .expect("validated circuit");
+                for (w, y) in slot.iter_mut().enumerate() {
+                    *y = state.expectation_z(w).expect("wire in range");
+                }
+            }
+            QuantumOutput::Probabilities => {
+                tape.probabilities_into_on(inputs, initial.as_ref(), scratch)
+                    .expect("validated circuit");
+                slot.copy_from_slice(scratch);
+            }
         }
     }
 
@@ -271,6 +331,7 @@ impl QuantumLayer {
             BackendKind::Fused => {
                 self.backward_row_tape_on::<FusedDenseBackend>(tape, row, upstream)
             }
+            BackendKind::Soa => self.backward_row_tape_on::<SoaDenseBackend>(tape, row, upstream),
         }
     }
 
@@ -312,14 +373,18 @@ impl Module for QuantumLayer {
         self.check_width(input)?;
         // Lower the circuit once for the whole batch; every row (and every
         // worker thread) replays the same immutable tape by reference.
+        // Rows write straight into the output matrix (one worker per
+        // contiguous row block), and the probability readout reuses one
+        // scratch buffer per worker instead of allocating per row.
         let tape = self.compile_tape();
-        let rows = parallel::map_rows(input.rows(), self.exec.threads, |r| {
-            self.forward_row_tape(&tape, input.row(r))
-        });
         let mut out = Matrix::zeros(input.rows(), self.out_features());
-        for (r, y) in rows.into_iter().enumerate() {
-            out.row_mut(r).copy_from_slice(&y);
-        }
+        parallel::fill_rows(
+            out.as_mut_slice(),
+            self.out_features(),
+            self.exec.threads,
+            Vec::new,
+            |r, scratch, slot| self.forward_row_tape_into(&tape, input.row(r), scratch, slot),
+        );
         self.cached_input = Some(input.clone());
         Ok(out)
     }
@@ -572,7 +637,7 @@ mod tests {
     }
 
     #[test]
-    fn fused_backend_matches_dense_numerically() {
+    fn fused_and_soa_backends_match_dense_numerically() {
         for (input, output) in [
             (
                 QuantumInput::Amplitude { in_features: 8 },
@@ -588,23 +653,25 @@ mod tests {
                 0.15 * (i + 1) as f64 + 0.07 * j as f64
             });
             let mut dense = layer_with(BackendKind::Dense);
-            let mut fused = layer_with(BackendKind::Fused);
             let yd = dense.forward(&x).unwrap();
-            let yf = fused.forward(&x).unwrap();
-            for (a, b) in yd.as_slice().iter().zip(yf.as_slice()) {
-                assert!((a - b).abs() < 1e-12, "forward {a} vs {b}");
-            }
             let g = Matrix::from_fn(4, yd.cols(), |i, j| 0.3 * (i as f64) - 0.1 * (j as f64));
             dense.backward(&g).unwrap();
-            fused.backward(&g).unwrap();
-            for (a, b) in dense
-                .params
-                .grad
-                .as_slice()
-                .iter()
-                .zip(fused.params.grad.as_slice())
-            {
-                assert!((a - b).abs() < 1e-12, "grad {a} vs {b}");
+            for backend in [BackendKind::Fused, BackendKind::Soa] {
+                let mut other = layer_with(backend);
+                let yo = other.forward(&x).unwrap();
+                for (a, b) in yd.as_slice().iter().zip(yo.as_slice()) {
+                    assert!((a - b).abs() < 1e-12, "{backend} forward {a} vs {b}");
+                }
+                other.backward(&g).unwrap();
+                for (a, b) in dense
+                    .params
+                    .grad
+                    .as_slice()
+                    .iter()
+                    .zip(other.params.grad.as_slice())
+                {
+                    assert!((a - b).abs() < 1e-12, "{backend} grad {a} vs {b}");
+                }
             }
         }
     }

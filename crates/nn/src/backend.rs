@@ -31,12 +31,18 @@ pub enum BackendKind {
     /// permutation pass, and controlled kernels skip the control-clear
     /// half-space.
     Fused,
+    /// Structure-of-arrays dense amplitudes: split re/im `f64` planes whose
+    /// branch-free unit-stride kernels autovectorize into packed FMA, with
+    /// cache-blocked tape execution — the fastest choice for large
+    /// registers (≥ ~10 qubits).
+    Soa,
 }
 
 impl BackendKind {
     /// Reads the policy from the `SQVAE_BACKEND` environment variable:
     /// unset, empty, or `dense` → [`BackendKind::Dense`]; `fused` →
-    /// [`BackendKind::Fused`]. Unparseable values fall back to the default
+    /// [`BackendKind::Fused`]; `soa` → [`BackendKind::Soa`]. Unparseable
+    /// values fall back to the default
     /// (dense) after a one-time stderr warning (see
     /// [`BackendKind::from_env_spec`]).
     pub fn from_env() -> Self {
@@ -60,12 +66,13 @@ impl BackendKind {
         })
     }
 
-    /// Short lowercase name (`dense` / `fused`), matching what
+    /// Short lowercase name (`dense` / `fused` / `soa`), matching what
     /// [`FromStr`] accepts.
     pub fn name(self) -> &'static str {
         match self {
             BackendKind::Dense => "dense",
             BackendKind::Fused => "fused",
+            BackendKind::Soa => "soa",
         }
     }
 }
@@ -83,8 +90,9 @@ impl FromStr for BackendKind {
         match s.trim() {
             "" | "dense" => Ok(BackendKind::Dense),
             "fused" => Ok(BackendKind::Fused),
+            "soa" => Ok(BackendKind::Soa),
             other => Err(format!(
-                "invalid backend spec '{other}' (want dense or fused)"
+                "invalid backend spec '{other}' (want dense, fused, or soa)"
             )),
         }
     }
@@ -100,7 +108,9 @@ mod tests {
         assert_eq!("".parse::<BackendKind>(), Ok(BackendKind::Dense));
         assert_eq!("fused".parse::<BackendKind>(), Ok(BackendKind::Fused));
         assert_eq!(" fused ".parse::<BackendKind>(), Ok(BackendKind::Fused));
-        assert!("gpu".parse::<BackendKind>().is_err());
+        assert_eq!("soa".parse::<BackendKind>(), Ok(BackendKind::Soa));
+        let err = "gpu".parse::<BackendKind>().unwrap_err();
+        assert!(err.contains("soa"), "typo warning must list soa: {err}");
     }
 
     #[test]
@@ -113,12 +123,13 @@ mod tests {
         // The warning is emitted once on stderr; the value still resolves.
         assert_eq!(BackendKind::from_env_spec("fusd"), BackendKind::Dense);
         assert_eq!(BackendKind::from_env_spec("fused"), BackendKind::Fused);
+        assert_eq!(BackendKind::from_env_spec("soa"), BackendKind::Soa);
         assert_eq!(BackendKind::from_env_spec(""), BackendKind::Dense);
     }
 
     #[test]
     fn names_round_trip() {
-        for kind in [BackendKind::Dense, BackendKind::Fused] {
+        for kind in [BackendKind::Dense, BackendKind::Fused, BackendKind::Soa] {
             assert_eq!(kind.name().parse::<BackendKind>(), Ok(kind));
             assert_eq!(format!("{kind}"), kind.name());
         }

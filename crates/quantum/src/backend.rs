@@ -3,7 +3,7 @@
 //! Every consumer of the simulator — [`crate::Circuit::run_on`], the whole
 //! [`crate::grad`] module, and the quantum layers built on top — is generic
 //! over a [`Backend`]: the set of primitive register operations a simulation
-//! strategy must provide. Two implementations ship today:
+//! strategy must provide. Three implementations ship today:
 //!
 //! * [`DenseBackend`] (an alias for [`StateVector`]) — the reference
 //!   semantics: every gate is one pass over the `2^n` amplitudes.
@@ -12,12 +12,20 @@
 //!   single 2×2 matmul pass, a run of CNOTs (the paper's ring template)
 //!   collapses into one permutation pass, and controlled kernels enumerate
 //!   only the control-set half-space instead of scanning the full register.
+//! * [`SoaDenseBackend`] — amplitudes split into separate re/im `f64`
+//!   planes (structure-of-arrays) so every kernel is a branch-free
+//!   unit-stride loop the autovectorizer packs into FMA, with cache-blocked
+//!   tape execution for large registers (see [`soa`]).
 //!
 //! The trait is the seam future GPU / sparse / tensor-network backends slot
 //! into; the adjoint engine and trainers never name a concrete register type.
 //! Backend *selection* (the `SQVAE_BACKEND` environment variable and the
 //! `--backend` experiment flag) lives in `sqvae_nn::BackendKind`, next to the
 //! analogous `Threads` policy.
+
+pub mod soa;
+
+pub use soa::SoaDenseBackend;
 
 use crate::complex::C64;
 use crate::embed::RotationAxis;
@@ -55,8 +63,10 @@ pub trait Backend: Clone + std::fmt::Debug {
     where
         Self: Sized;
 
-    /// Borrows the dense amplitudes backing this register.
-    fn statevector(&self) -> &StateVector;
+    /// Materializes the register as a plain dense state (backends whose
+    /// storage is not interleaved `C64`s — e.g. [`SoaDenseBackend`] — build
+    /// one here; dense-storage backends clone).
+    fn to_statevector(&self) -> StateVector;
 
     /// Converts back into a plain dense register.
     fn into_statevector(self) -> StateVector;
@@ -65,15 +75,12 @@ pub trait Backend: Clone + std::fmt::Debug {
     fn reset(&mut self);
 
     /// Number of qubits in the register.
-    #[inline]
-    fn n_qubits(&self) -> usize {
-        self.statevector().n_qubits()
-    }
+    fn n_qubits(&self) -> usize;
 
     /// Hilbert-space dimension `2^n`.
     #[inline]
     fn dim(&self) -> usize {
-        self.statevector().dim()
+        1usize << self.n_qubits()
     }
 
     /// Bit position (from the least significant end) of `wire`.
@@ -144,6 +151,18 @@ pub trait Backend: Clone + std::fmt::Debug {
 
     /// Probabilities of all `2^n` basis states.
     fn probabilities(&self) -> Vec<f64>;
+
+    /// Writes the probabilities of all `2^n` basis states into `out`
+    /// (cleared first, capacity reused) — the allocation-free counterpart of
+    /// [`Backend::probabilities`] for batched readout paths that call it
+    /// once per row.
+    ///
+    /// The default falls back to [`Backend::probabilities`]; backends
+    /// override it to fill the reused buffer directly.
+    fn probabilities_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(&self.probabilities());
+    }
 
     /// The inner product `⟨self|other⟩`.
     ///
@@ -243,10 +262,12 @@ pub trait Backend: Clone + std::fmt::Debug {
     /// `G` is the Pauli generator of a rotation about `axis` on `wire`),
     /// then un-applies the pre-inverted rotation `inv` to both registers.
     ///
-    /// The default computes the inner product in one read-only pass (no
-    /// register clone) followed by the two single-qubit un-applications;
-    /// [`FusedDenseBackend`] overrides it with a single traversal that reads
-    /// and writes each amplitude pair of both registers exactly once.
+    /// The default materializes both registers as dense states for the
+    /// read-only inner-product pass (a clone for non-dense storage), then
+    /// performs the two single-qubit un-applications; every shipped backend
+    /// overrides it with a clone-free traversal, [`FusedDenseBackend`] and
+    /// [`SoaDenseBackend`] with a single fused pass that reads and writes
+    /// each amplitude pair of both registers exactly once.
     ///
     /// # Errors
     ///
@@ -263,38 +284,47 @@ pub trait Backend: Clone + std::fmt::Debug {
     {
         self.check_wire(wire)?;
         let mask = 1usize << self.bit_of_wire(wire);
-        let ket = self.statevector().amplitudes();
-        let bra_amps = bra.statevector().amplitudes();
-        let mut acc = 0.0;
-        match axis {
-            // (X|ψ⟩)_i = ψ_{i⊕m}: Im(conj(b_i)·ψ_{i⊕m}).
-            RotationAxis::X => {
-                for (i, bi) in bra_amps.iter().enumerate() {
-                    let x = ket[i ^ mask];
-                    acc += bi.re * x.im - bi.im * x.re;
-                }
-            }
-            // (Y|ψ⟩)_i = ∓i·ψ_{i⊕m} (− with the bit clear): Im picks ∓Re.
-            RotationAxis::Y => {
-                for (i, bi) in bra_amps.iter().enumerate() {
-                    let x = ket[i ^ mask];
-                    let s = if i & mask == 0 { -1.0 } else { 1.0 };
-                    acc += s * (bi.re * x.re + bi.im * x.im);
-                }
-            }
-            // (Z|ψ⟩)_i = ±ψ_i (+ with the bit clear).
-            RotationAxis::Z => {
-                for (i, bi) in bra_amps.iter().enumerate() {
-                    let x = ket[i];
-                    let s = if i & mask == 0 { 1.0 } else { -1.0 };
-                    acc += s * (bi.re * x.im - bi.im * x.re);
-                }
-            }
-        }
+        let ket_sv = self.to_statevector();
+        let bra_sv = bra.to_statevector();
+        let acc = generator_inner_im(ket_sv.amplitudes(), bra_sv.amplitudes(), axis, mask);
         self.apply_single_qubit(wire, inv)?;
         bra.apply_single_qubit(wire, inv)?;
         Ok(acc)
     }
+}
+
+/// The generator inner product `Im⟨bra|G|ket⟩` over dense amplitude slices,
+/// for the Pauli generator `G` of a rotation about `axis` on the wire whose
+/// bit mask is `mask`. Shared by the dense backend's rotation stop and the
+/// trait's fallback.
+fn generator_inner_im(ket: &[C64], bra_amps: &[C64], axis: RotationAxis, mask: usize) -> f64 {
+    let mut acc = 0.0;
+    match axis {
+        // (X|ψ⟩)_i = ψ_{i⊕m}: Im(conj(b_i)·ψ_{i⊕m}).
+        RotationAxis::X => {
+            for (i, bi) in bra_amps.iter().enumerate() {
+                let x = ket[i ^ mask];
+                acc += bi.re * x.im - bi.im * x.re;
+            }
+        }
+        // (Y|ψ⟩)_i = ∓i·ψ_{i⊕m} (− with the bit clear): Im picks ∓Re.
+        RotationAxis::Y => {
+            for (i, bi) in bra_amps.iter().enumerate() {
+                let x = ket[i ^ mask];
+                let s = if i & mask == 0 { -1.0 } else { 1.0 };
+                acc += s * (bi.re * x.re + bi.im * x.im);
+            }
+        }
+        // (Z|ψ⟩)_i = ±ψ_i (+ with the bit clear).
+        RotationAxis::Z => {
+            for (i, bi) in bra_amps.iter().enumerate() {
+                let x = ket[i];
+                let s = if i & mask == 0 { 1.0 } else { -1.0 };
+                acc += s * (bi.re * x.im - bi.im * x.re);
+            }
+        }
+    }
+    acc
 }
 
 impl Backend for StateVector {
@@ -308,8 +338,8 @@ impl Backend for StateVector {
         state
     }
 
-    fn statevector(&self) -> &StateVector {
-        self
+    fn to_statevector(&self) -> StateVector {
+        self.clone()
     }
 
     fn into_statevector(self) -> StateVector {
@@ -318,6 +348,10 @@ impl Backend for StateVector {
 
     fn reset(&mut self) {
         StateVector::reset(self);
+    }
+
+    fn n_qubits(&self) -> usize {
+        StateVector::n_qubits(self)
     }
 
     fn apply_single_qubit(&mut self, wire: usize, m: &[[C64; 2]; 2]) -> Result<()> {
@@ -348,8 +382,27 @@ impl Backend for StateVector {
         StateVector::probabilities(self)
     }
 
+    fn probabilities_into(&self, out: &mut Vec<f64>) {
+        StateVector::probabilities_into(self, out);
+    }
+
     fn inner(&self, other: &Self) -> C64 {
         StateVector::inner(self, other)
+    }
+
+    fn adjoint_rotation_stop(
+        &mut self,
+        bra: &mut Self,
+        axis: RotationAxis,
+        wire: usize,
+        inv: &[[C64; 2]; 2],
+    ) -> Result<f64> {
+        self.check_wire(wire)?;
+        let mask = 1usize << Backend::bit_of_wire(self, wire);
+        let acc = generator_inner_im(self.amplitudes(), bra.amplitudes(), axis, mask);
+        self.apply_single_qubit(wire, inv)?;
+        bra.apply_single_qubit(wire, inv)?;
+        Ok(acc)
     }
 }
 
@@ -470,8 +523,8 @@ impl Backend for FusedDenseBackend {
         FusedDenseBackend(state)
     }
 
-    fn statevector(&self) -> &StateVector {
-        &self.0
+    fn to_statevector(&self) -> StateVector {
+        self.0.clone()
     }
 
     fn into_statevector(self) -> StateVector {
@@ -480,6 +533,10 @@ impl Backend for FusedDenseBackend {
 
     fn reset(&mut self) {
         self.0.reset();
+    }
+
+    fn n_qubits(&self) -> usize {
+        self.0.n_qubits()
     }
 
     fn apply_single_qubit(&mut self, wire: usize, m: &[[C64; 2]; 2]) -> Result<()> {
@@ -522,6 +579,10 @@ impl Backend for FusedDenseBackend {
 
     fn probabilities(&self) -> Vec<f64> {
         self.0.probabilities()
+    }
+
+    fn probabilities_into(&self, out: &mut Vec<f64>) {
+        self.0.probabilities_into(out);
     }
 
     fn inner(&self, other: &Self) -> C64 {
@@ -698,7 +759,7 @@ mod tests {
                     let mut fused = FusedDenseBackend::from_statevector(dense.clone());
                     dense.apply_cnot(c, t).unwrap();
                     Backend::apply_cnot(&mut fused, c, t).unwrap();
-                    assert_states_close(&dense, fused.statevector(), 1e-15);
+                    assert_states_close(&dense, &fused.to_statevector(), 1e-15);
                 }
             }
         }
@@ -718,7 +779,7 @@ mod tests {
             let mut fused = FusedDenseBackend::from_statevector(dense.clone());
             dense.apply_controlled(c, t, &m).unwrap();
             Backend::apply_controlled(&mut fused, c, t, &m).unwrap();
-            assert_states_close(&dense, fused.statevector(), 1e-15);
+            assert_states_close(&dense, &fused.to_statevector(), 1e-15);
         }
     }
 
@@ -738,7 +799,7 @@ mod tests {
         }
         fused.apply_cnot_run(&ring).unwrap();
         // Pure permutations move amplitudes without arithmetic: exact match.
-        assert_eq!(&dense, fused.statevector());
+        assert_eq!(dense, fused.to_statevector());
     }
 
     #[test]
@@ -766,10 +827,10 @@ mod tests {
     fn reset_and_round_trip() {
         let mut f = FusedDenseBackend::zero_state(2).unwrap();
         Backend::apply_single_qubit(&mut f, 0, &pauli_x()).unwrap();
-        assert!(f.statevector().probability(0b10) > 0.99);
+        assert!(f.to_statevector().probability(0b10) > 0.99);
         f.reset();
-        assert!((f.statevector().probability(0) - 1.0).abs() < 1e-15);
+        assert!((f.to_statevector().probability(0) - 1.0).abs() < 1e-15);
         let sv = f.clone().into_statevector();
-        assert_eq!(&sv, f.statevector());
+        assert_eq!(sv, f.to_statevector());
     }
 }

@@ -137,6 +137,15 @@ impl StateVector {
         self.amps.iter().map(|a| a.norm_sqr()).collect()
     }
 
+    /// Writes the probabilities of all `2^n` basis states into `out`,
+    /// clearing it first and reusing its capacity — the allocation-free
+    /// counterpart of [`StateVector::probabilities`] for per-row readout in
+    /// batched paths.
+    pub fn probabilities_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.amps.iter().map(|a| a.norm_sqr()));
+    }
+
     /// The L2 norm of the state (1 for normalized states).
     pub fn norm(&self) -> f64 {
         self.amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()

@@ -268,6 +268,23 @@ impl CompiledTape {
     ) -> Result<Vec<f64>> {
         Ok(self.execute_on(inputs, initial)?.probabilities())
     }
+
+    /// Executes the tape then writes all basis-state probabilities into
+    /// `out` (cleared first, capacity reused) — the allocation-free readout
+    /// used by batched per-row paths.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompiledTape::execute_on`].
+    pub fn probabilities_into_on<B: Backend>(
+        &self,
+        inputs: &[f64],
+        initial: Option<&B>,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        self.execute_on(inputs, initial)?.probabilities_into(out);
+        Ok(())
+    }
 }
 
 /// Incrementally lowers resolved gates into a fused op list.
@@ -571,7 +588,7 @@ mod tests {
         }
         dense.apply_ops(c.ops(), &[], &[]).unwrap();
         for (a, b) in fused
-            .statevector()
+            .to_statevector()
             .amplitudes()
             .iter()
             .zip(dense.amplitudes())

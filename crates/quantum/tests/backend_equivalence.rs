@@ -1,10 +1,10 @@
-//! Backend equivalence: the fused-kernel backend must reproduce the dense
-//! reference backend — forward states, measurements, and adjoint gradients —
-//! to ≤ 1e-12 on randomized circuits, and be fully deterministic for a fixed
-//! selection.
+//! Backend equivalence: every optimized backend (fused kernels,
+//! structure-of-arrays SIMD) must reproduce the dense reference backend —
+//! forward states, measurements, and adjoint gradients — to ≤ 1e-12 on
+//! randomized circuits, and be fully deterministic for a fixed selection.
 
 use proptest::prelude::*;
-use sqvae_quantum::backend::{Backend, DenseBackend, FusedDenseBackend};
+use sqvae_quantum::backend::{Backend, DenseBackend, FusedDenseBackend, SoaDenseBackend};
 use sqvae_quantum::embed::{amplitude_embedding, angle_embedding_gates, RotationAxis};
 use sqvae_quantum::grad::{adjoint, paramshift};
 use sqvae_quantum::templates::{strongly_entangling_layers, EntangleRange};
@@ -13,8 +13,9 @@ use sqvae_quantum::{Circuit, Gate, Param};
 const TOL: f64 = 1e-12;
 
 /// Strategy: a random gate over `n` wires referencing at most `np` trainable
-/// parameters and `ni` input features, spanning every gate kind the fused
-/// backend specializes (single-qubit runs, CNOTs, controlled rotations).
+/// parameters and `ni` input features, spanning every gate kind the
+/// optimized backends specialize (single-qubit runs, CNOTs, controlled
+/// rotations).
 fn arb_gate(n: usize, np: usize, ni: usize) -> impl Strategy<Value = Gate> {
     let wire = 0..n;
     let wire2 = 0..n;
@@ -58,93 +59,155 @@ fn assert_close(a: &[f64], b: &[f64], what: &str) {
     }
 }
 
+/// Forward execution on `B` reproduces the dense amplitudes, per-wire
+/// expectations, and probabilities.
+fn check_forward_matches_dense<B: Backend>(c: &Circuit, params: &[f64], inputs: &[f64]) {
+    let dense: DenseBackend = c.run_on(params, inputs, None).unwrap();
+    let other: B = c.run_on(params, inputs, None).unwrap();
+    let other_sv = other.to_statevector();
+    for (a, b) in dense.amplitudes().iter().zip(other_sv.amplitudes()) {
+        assert!(a.approx_eq(*b, TOL), "{} amplitude {a} vs {b}", B::NAME);
+    }
+    assert_close(
+        &c.expectations_z_all(&dense).unwrap(),
+        &c.expectations_z_all(&other).unwrap(),
+        &format!("{} expectations", B::NAME),
+    );
+    assert_close(
+        &Backend::probabilities(&dense),
+        &other.probabilities(),
+        &format!("{} probabilities", B::NAME),
+    );
+    // The reuse-buffer readout is the same numbers as the allocating one.
+    let mut reused = Vec::new();
+    other.probabilities_into(&mut reused);
+    assert_eq!(reused, other.probabilities(), "{} readout", B::NAME);
+}
+
+/// Adjoint gradients (parameters AND inputs) on `B` reproduce the dense
+/// ones for the ⟨Z⟩ readout.
+fn check_adjoint_matches_dense_expectations<B: Backend>(
+    c: &Circuit,
+    params: &[f64],
+    inputs: &[f64],
+    upstream: &[f64],
+) {
+    let dense =
+        adjoint::backward_expectations_z_on::<DenseBackend>(c, params, inputs, None, upstream)
+            .unwrap();
+    let other =
+        adjoint::backward_expectations_z_on::<B>(c, params, inputs, None, upstream).unwrap();
+    assert_close(
+        &dense.params,
+        &other.params,
+        &format!("{} param gradients", B::NAME),
+    );
+    assert_close(
+        &dense.inputs,
+        &other.inputs,
+        &format!("{} input gradients", B::NAME),
+    );
+}
+
+/// Same for the probability readout (the baseline decoder's measurement).
+fn check_adjoint_matches_dense_probabilities<B: Backend>(
+    c: &Circuit,
+    params: &[f64],
+    inputs: &[f64],
+    upstream: &[f64],
+) {
+    let dense =
+        adjoint::backward_probabilities_on::<DenseBackend>(c, params, inputs, None, upstream)
+            .unwrap();
+    let other = adjoint::backward_probabilities_on::<B>(c, params, inputs, None, upstream).unwrap();
+    assert_close(
+        &dense.params,
+        &other.params,
+        &format!("{} param gradients", B::NAME),
+    );
+    assert_close(
+        &dense.inputs,
+        &other.inputs,
+        &format!("{} input gradients", B::NAME),
+    );
+}
+
+/// Parameter-shift Jacobians executed on `B` agree with the dense ones.
+fn check_paramshift_matches_dense<B: Backend>(c: &Circuit, params: &[f64], inputs: &[f64]) {
+    let (dp, di) =
+        paramshift::jacobian_expectations_z_on::<DenseBackend>(c, params, inputs, None).unwrap();
+    let (op, oi) = paramshift::jacobian_expectations_z_on::<B>(c, params, inputs, None).unwrap();
+    for (a, b) in dp.iter().flatten().zip(op.iter().flatten()) {
+        assert!((a - b).abs() <= TOL, "{} param jac {a} vs {b}", B::NAME);
+    }
+    for (a, b) in di.iter().flatten().zip(oi.iter().flatten()) {
+        assert!((a - b).abs() <= TOL, "{} input jac {a} vs {b}", B::NAME);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Fused forward execution reproduces the dense amplitudes, per-wire
-    /// expectations, and probabilities.
+    /// Fused and SoA forward execution reproduce the dense amplitudes,
+    /// per-wire expectations, and probabilities.
     #[test]
-    fn fused_forward_matches_dense(
+    fn optimized_forward_matches_dense(
         gates in proptest::collection::vec(arb_gate(3, 4, 2), 1..32),
         params in proptest::collection::vec(-3.0..3.0f64, 4),
         inputs in proptest::collection::vec(-2.0..2.0f64, 2),
     ) {
         let c = build_circuit(3, gates);
-        let dense: DenseBackend = c.run_on(&params, &inputs, None).unwrap();
-        let fused: FusedDenseBackend = c.run_on(&params, &inputs, None).unwrap();
-        for (a, b) in dense.amplitudes().iter().zip(fused.statevector().amplitudes()) {
-            prop_assert!(a.approx_eq(*b, TOL), "amplitude {a} vs {b}");
-        }
-        assert_close(
-            &c.expectations_z_all(&dense).unwrap(),
-            &c.expectations_z_all(&fused).unwrap(),
-            "expectations",
-        );
-        assert_close(&Backend::probabilities(&dense), &fused.probabilities(), "probabilities");
+        check_forward_matches_dense::<FusedDenseBackend>(&c, &params, &inputs);
+        check_forward_matches_dense::<SoaDenseBackend>(&c, &params, &inputs);
     }
 
-    /// Fused adjoint gradients (parameters AND inputs) reproduce the dense
-    /// ones for the ⟨Z⟩ readout.
+    /// Fused and SoA adjoint gradients (parameters AND inputs) reproduce
+    /// the dense ones for the ⟨Z⟩ readout.
     #[test]
-    fn fused_adjoint_matches_dense_expectations(
+    fn optimized_adjoint_matches_dense_expectations(
         gates in proptest::collection::vec(arb_gate(3, 4, 2), 1..24),
         params in proptest::collection::vec(-3.0..3.0f64, 4),
         inputs in proptest::collection::vec(-2.0..2.0f64, 2),
         upstream in proptest::collection::vec(-1.5..1.5f64, 3),
     ) {
         let c = build_circuit(3, gates);
-        let dense = adjoint::backward_expectations_z_on::<DenseBackend>(
-            &c, &params, &inputs, None, &upstream).unwrap();
-        let fused = adjoint::backward_expectations_z_on::<FusedDenseBackend>(
-            &c, &params, &inputs, None, &upstream).unwrap();
-        assert_close(&dense.params, &fused.params, "param gradients");
-        assert_close(&dense.inputs, &fused.inputs, "input gradients");
+        check_adjoint_matches_dense_expectations::<FusedDenseBackend>(&c, &params, &inputs, &upstream);
+        check_adjoint_matches_dense_expectations::<SoaDenseBackend>(&c, &params, &inputs, &upstream);
     }
 
     /// Same for the probability readout (the baseline decoder's measurement).
     #[test]
-    fn fused_adjoint_matches_dense_probabilities(
+    fn optimized_adjoint_matches_dense_probabilities(
         gates in proptest::collection::vec(arb_gate(2, 3, 1), 1..20),
         params in proptest::collection::vec(-3.0..3.0f64, 3),
         inputs in proptest::collection::vec(-2.0..2.0f64, 1),
         upstream in proptest::collection::vec(-1.0..1.0f64, 4),
     ) {
         let c = build_circuit(2, gates);
-        let dense = adjoint::backward_probabilities_on::<DenseBackend>(
-            &c, &params, &inputs, None, &upstream).unwrap();
-        let fused = adjoint::backward_probabilities_on::<FusedDenseBackend>(
-            &c, &params, &inputs, None, &upstream).unwrap();
-        assert_close(&dense.params, &fused.params, "param gradients");
-        assert_close(&dense.inputs, &fused.inputs, "input gradients");
+        check_adjoint_matches_dense_probabilities::<FusedDenseBackend>(&c, &params, &inputs, &upstream);
+        check_adjoint_matches_dense_probabilities::<SoaDenseBackend>(&c, &params, &inputs, &upstream);
     }
 
-    /// Parameter-shift Jacobians executed on the fused backend agree with
-    /// the dense ones.
+    /// Parameter-shift Jacobians executed on the optimized backends agree
+    /// with the dense ones.
     #[test]
-    fn fused_paramshift_matches_dense(
+    fn optimized_paramshift_matches_dense(
         gates in proptest::collection::vec(arb_gate(2, 3, 1), 1..12),
         params in proptest::collection::vec(-3.0..3.0f64, 3),
         inputs in proptest::collection::vec(-2.0..2.0f64, 1),
     ) {
         let c = build_circuit(2, gates);
-        let (dp, di) = paramshift::jacobian_expectations_z_on::<DenseBackend>(
-            &c, &params, &inputs, None).unwrap();
-        let (fp, fi) = paramshift::jacobian_expectations_z_on::<FusedDenseBackend>(
-            &c, &params, &inputs, None).unwrap();
-        for (a, b) in dp.iter().flatten().zip(fp.iter().flatten()) {
-            prop_assert!((a - b).abs() <= TOL, "param jac {a} vs {b}");
-        }
-        for (a, b) in di.iter().flatten().zip(fi.iter().flatten()) {
-            prop_assert!((a - b).abs() <= TOL, "input jac {a} vs {b}");
-        }
+        check_paramshift_matches_dense::<FusedDenseBackend>(&c, &params, &inputs);
+        check_paramshift_matches_dense::<SoaDenseBackend>(&c, &params, &inputs);
     }
 }
 
 /// The paper's baseline encoder circuit — angle embedding plus 3
-/// strongly-entangling layers on 6 qubits — is exactly the shape the fused
-/// backend specializes (RZ·RY·RZ runs + CNOT ring); pin its equivalence.
+/// strongly-entangling layers on 6 qubits — is exactly the shape the
+/// optimized backends specialize (RZ·RY·RZ runs + CNOT ring); pin its
+/// equivalence on all of them.
 #[test]
-fn paper_template_matches_on_both_backends() {
+fn paper_template_matches_on_all_backends() {
     let n = 6;
     let mut c = Circuit::new(n).unwrap();
     c.extend(angle_embedding_gates(n, RotationAxis::Y, 0))
@@ -155,72 +218,61 @@ fn paper_template_matches_on_both_backends() {
     let inputs: Vec<f64> = (0..n).map(|i| 0.3 * i as f64 - 0.8).collect();
     let upstream: Vec<f64> = (0..n).map(|i| 1.0 - 0.4 * i as f64).collect();
 
-    let dense: DenseBackend = c.run_on(&params, &inputs, None).unwrap();
-    let fused: FusedDenseBackend = c.run_on(&params, &inputs, None).unwrap();
-    assert_close(
-        &c.expectations_z_all(&dense).unwrap(),
-        &c.expectations_z_all(&fused).unwrap(),
-        "paper template expectations",
-    );
-
-    let gd =
-        adjoint::backward_expectations_z_on::<DenseBackend>(&c, &params, &inputs, None, &upstream)
-            .unwrap();
-    let gf = adjoint::backward_expectations_z_on::<FusedDenseBackend>(
-        &c, &params, &inputs, None, &upstream,
-    )
-    .unwrap();
-    assert_close(&gd.params, &gf.params, "paper template param grads");
-    assert_close(&gd.inputs, &gf.inputs, "paper template input grads");
+    check_forward_matches_dense::<FusedDenseBackend>(&c, &params, &inputs);
+    check_forward_matches_dense::<SoaDenseBackend>(&c, &params, &inputs);
+    check_adjoint_matches_dense_expectations::<FusedDenseBackend>(&c, &params, &inputs, &upstream);
+    check_adjoint_matches_dense_expectations::<SoaDenseBackend>(&c, &params, &inputs, &upstream);
 }
 
-/// Amplitude-embedded initial states flow through the fused backend too.
+/// Amplitude-embedded initial states flow through the optimized backends
+/// too.
 #[test]
 fn amplitude_embedded_initial_matches() {
-    let mut c = Circuit::new(2).unwrap();
-    c.extend(strongly_entangling_layers(2, 2, 0, EntangleRange::Ring).unwrap())
-        .unwrap();
-    let params: Vec<f64> = (0..c.n_params()).map(|i| 0.09 * (i + 1) as f64).collect();
-    let init = amplitude_embedding(&[0.1, 0.5, 0.3, 0.7], 2).unwrap();
+    fn check<B: Backend>() {
+        let mut c = Circuit::new(2).unwrap();
+        c.extend(strongly_entangling_layers(2, 2, 0, EntangleRange::Ring).unwrap())
+            .unwrap();
+        let params: Vec<f64> = (0..c.n_params()).map(|i| 0.09 * (i + 1) as f64).collect();
+        let init = amplitude_embedding(&[0.1, 0.5, 0.3, 0.7], 2).unwrap();
 
-    let dense = c.run(&params, &[], Some(&init)).unwrap();
-    let fused: FusedDenseBackend = c
-        .run_on(
+        let dense = c.run(&params, &[], Some(&init)).unwrap();
+        let other: B = c
+            .run_on(&params, &[], Some(&B::from_statevector(init.clone())))
+            .unwrap();
+        let other_sv = other.to_statevector();
+        for (a, b) in dense.amplitudes().iter().zip(other_sv.amplitudes()) {
+            assert!(a.approx_eq(*b, TOL), "{}: {a} vs {b}", B::NAME);
+        }
+
+        let gd =
+            adjoint::backward_expectations_z(&c, &params, &[], Some(&init), &[1.0, -0.5]).unwrap();
+        let gf = adjoint::backward_expectations_z_on(
+            &c,
             &params,
             &[],
-            Some(&FusedDenseBackend::from_statevector(init.clone())),
+            Some(&B::from_statevector(init)),
+            &[1.0, -0.5],
         )
         .unwrap();
-    for (a, b) in dense
-        .amplitudes()
-        .iter()
-        .zip(fused.statevector().amplitudes())
-    {
-        assert!(a.approx_eq(*b, TOL), "{a} vs {b}");
+        assert_close(&gd.params, &gf.params, "embedded-initial grads");
     }
-
-    let gd = adjoint::backward_expectations_z(&c, &params, &[], Some(&init), &[1.0, -0.5]).unwrap();
-    let gf = adjoint::backward_expectations_z_on(
-        &c,
-        &params,
-        &[],
-        Some(&FusedDenseBackend::from_statevector(init)),
-        &[1.0, -0.5],
-    )
-    .unwrap();
-    assert_close(&gd.params, &gf.params, "embedded-initial grads");
+    check::<FusedDenseBackend>();
+    check::<SoaDenseBackend>();
 }
 
-/// A fixed backend selection is fully deterministic: two fused executions
-/// produce bit-identical amplitudes.
+/// A fixed backend selection is fully deterministic: two executions produce
+/// bit-identical amplitudes.
 #[test]
-fn fused_backend_is_deterministic() {
+fn optimized_backends_are_deterministic() {
     let mut c = Circuit::new(4).unwrap();
     c.extend(strongly_entangling_layers(4, 3, 0, EntangleRange::PennyLane).unwrap())
         .unwrap();
     let params: Vec<f64> = (0..c.n_params()).map(|i| 0.11 * i as f64 - 1.7).collect();
     let a: FusedDenseBackend = c.run_on(&params, &[], None).unwrap();
     let b: FusedDenseBackend = c.run_on(&params, &[], None).unwrap();
+    assert_eq!(a, b);
+    let a: SoaDenseBackend = c.run_on(&params, &[], None).unwrap();
+    let b: SoaDenseBackend = c.run_on(&params, &[], None).unwrap();
     assert_eq!(a, b);
 }
 
@@ -241,6 +293,11 @@ fn mismatched_initial_is_a_typed_error_everywhere() {
     ));
     assert!(matches!(
         adjoint::backward_expectations_z_on(&c, &[0.1], &[], Some(&wide), &[1.0, 0.0]),
+        Err(sqvae_quantum::QuantumError::DimensionMismatch { .. })
+    ));
+    let wide = SoaDenseBackend::zero_state(3).unwrap();
+    assert!(matches!(
+        c.run_on(&[0.1], &[], Some(&wide)),
         Err(sqvae_quantum::QuantumError::DimensionMismatch { .. })
     ));
 }

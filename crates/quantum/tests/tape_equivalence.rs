@@ -1,10 +1,11 @@
 //! Compiled-tape equivalence: executing a [`CompiledTape`] must reproduce
 //! eager gate-by-gate execution — forward states, expectations,
 //! probabilities, and adjoint gradients — to ≤ 1e-12 on randomized circuits,
-//! on both backends, and the tape must be reusable across rows.
+//! on every backend (dense, fused, SoA), and the tape must be reusable
+//! across rows.
 
 use proptest::prelude::*;
-use sqvae_quantum::backend::{Backend, DenseBackend, FusedDenseBackend};
+use sqvae_quantum::backend::{Backend, DenseBackend, FusedDenseBackend, SoaDenseBackend};
 use sqvae_quantum::embed::{angle_embedding_gates, RotationAxis};
 use sqvae_quantum::grad::adjoint;
 use sqvae_quantum::templates::{strongly_entangling_layers, EntangleRange};
@@ -85,8 +86,14 @@ proptest! {
         for (a, b) in eager.amplitudes().iter().zip(dense.amplitudes()) {
             prop_assert!(a.approx_eq(*b, TOL), "dense amplitude {a} vs {b}");
         }
-        for (a, b) in eager.amplitudes().iter().zip(fused.statevector().amplitudes()) {
+        let fused_sv = fused.to_statevector();
+        for (a, b) in eager.amplitudes().iter().zip(fused_sv.amplitudes()) {
             prop_assert!(a.approx_eq(*b, TOL), "fused amplitude {a} vs {b}");
+        }
+        let soa: SoaDenseBackend = tape.execute_on(&inputs, None).unwrap();
+        let soa_sv = soa.to_statevector();
+        for (a, b) in eager.amplitudes().iter().zip(soa_sv.amplitudes()) {
+            prop_assert!(a.approx_eq(*b, TOL), "soa amplitude {a} vs {b}");
         }
         assert_close(
             &c.expectations_z_all(&eager).unwrap(),
@@ -94,10 +101,18 @@ proptest! {
             "expectations",
         );
         assert_close(
+            &c.expectations_z_all(&eager).unwrap(),
+            &c.expectations_z_all(&soa).unwrap(),
+            "soa expectations",
+        );
+        assert_close(
             &Backend::probabilities(&eager),
             &tape.probabilities_on::<FusedDenseBackend>(&inputs, None).unwrap(),
             "probabilities",
         );
+        let mut soa_probs = Vec::new();
+        tape.probabilities_into_on::<SoaDenseBackend>(&inputs, None, &mut soa_probs).unwrap();
+        assert_close(&Backend::probabilities(&eager), &soa_probs, "soa probabilities");
     }
 
     /// The tape's pre-lowered adjoint sweep reproduces the eager adjoint
@@ -118,10 +133,14 @@ proptest! {
             &tape, &inputs, None, &upstream).unwrap();
         let fused = adjoint::backward_expectations_z_tape::<FusedDenseBackend>(
             &tape, &inputs, None, &upstream).unwrap();
+        let soa = adjoint::backward_expectations_z_tape::<SoaDenseBackend>(
+            &tape, &inputs, None, &upstream).unwrap();
         assert_close(&eager.params, &dense.params, "dense param gradients");
         assert_close(&eager.inputs, &dense.inputs, "dense input gradients");
         assert_close(&eager.params, &fused.params, "fused param gradients");
         assert_close(&eager.inputs, &fused.inputs, "fused input gradients");
+        assert_close(&eager.params, &soa.params, "soa param gradients");
+        assert_close(&eager.inputs, &soa.inputs, "soa input gradients");
     }
 
     /// Same for the probability readout (the baseline decoder's measurement).
@@ -140,6 +159,10 @@ proptest! {
             &tape, &inputs, None, &upstream).unwrap();
         assert_close(&eager.params, &taped.params, "param gradients");
         assert_close(&eager.inputs, &taped.inputs, "input gradients");
+        let soa = adjoint::backward_probabilities_tape::<SoaDenseBackend>(
+            &tape, &inputs, None, &upstream).unwrap();
+        assert_close(&eager.params, &soa.params, "soa param gradients");
+        assert_close(&eager.inputs, &soa.inputs, "soa input gradients");
     }
 
     /// One tape, many rows: re-executing with different inputs matches
@@ -159,8 +182,16 @@ proptest! {
             let a: FusedDenseBackend = tape.execute_on(row, None).unwrap();
             let b: FusedDenseBackend = tape.execute_on(row, None).unwrap();
             prop_assert_eq!(&a, &b, "tape re-execution must be deterministic");
-            for (x, y) in eager.amplitudes().iter().zip(a.statevector().amplitudes()) {
+            let a_sv = a.to_statevector();
+            for (x, y) in eager.amplitudes().iter().zip(a_sv.amplitudes()) {
                 prop_assert!(x.approx_eq(*y, TOL), "row amplitude {x} vs {y}");
+            }
+            let s1: SoaDenseBackend = tape.execute_on(row, None).unwrap();
+            let s2: SoaDenseBackend = tape.execute_on(row, None).unwrap();
+            prop_assert_eq!(&s1, &s2, "soa tape re-execution must be deterministic");
+            let s_sv = s1.to_statevector();
+            for (x, y) in eager.amplitudes().iter().zip(s_sv.amplitudes()) {
+                prop_assert!(x.approx_eq(*y, TOL), "soa row amplitude {x} vs {y}");
             }
         }
     }
@@ -201,6 +232,19 @@ fn paper_template_tape_matches_eager() {
             .unwrap();
     assert_close(&ge.params, &gt.params, "paper template param grads");
     assert_close(&ge.inputs, &gt.inputs, "paper template input grads");
+
+    let gs =
+        adjoint::backward_expectations_z_tape::<SoaDenseBackend>(&tape, &inputs, None, &upstream)
+            .unwrap();
+    assert_close(&ge.params, &gs.params, "paper template soa param grads");
+    assert_close(&ge.inputs, &gs.inputs, "paper template soa input grads");
+    assert_close(
+        &c.expectations_z_all(&eager).unwrap(),
+        &tape
+            .expectations_z_on::<SoaDenseBackend>(&inputs, None)
+            .unwrap(),
+        "paper template soa expectations",
+    );
 }
 
 /// Mismatched embedded initial states stay a typed error through the tape

@@ -2,10 +2,10 @@
 //!
 //! For a **fixed** simulator backend, training must be bit-identical across
 //! every `SQVAE_THREADS` setting (extending `tests/parallel_determinism.rs`
-//! to the fused backend and the parallel patch bank). **Across** backends,
-//! fused kernels reorder floating-point arithmetic, so runs agree to high
-//! precision rather than bit-for-bit; short trainings stay within tight
-//! tolerances.
+//! to the fused and SoA backends and the parallel patch bank). **Across**
+//! backends, the optimized kernels reorder floating-point arithmetic, so
+//! runs agree to high precision rather than bit-for-bit; short trainings
+//! stay within tight tolerances.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -58,7 +58,7 @@ fn train_with(
 }
 
 fn assert_backend_thread_matrix(make: fn(&mut StdRng) -> Autoencoder) {
-    for backend in [BackendKind::Dense, BackendKind::Fused] {
+    for backend in [BackendKind::Dense, BackendKind::Fused, BackendKind::Soa] {
         let baseline = train_with(make, backend, Threads::Off);
         assert_eq!(baseline.0.len(), 2);
         assert!(baseline.1.iter().all(|v| v.is_finite()));
@@ -75,12 +75,14 @@ fn assert_backend_thread_matrix(make: fn(&mut StdRng) -> Autoencoder) {
     // Across backends: same physics, reordered arithmetic. Two short epochs
     // keep the drift many orders below anything training-relevant.
     let dense = train_with(make, BackendKind::Dense, Threads::Off);
-    let fused = train_with(make, BackendKind::Fused, Threads::Off);
-    for (a, b) in dense.0.iter().zip(&fused.0) {
-        assert!((a - b).abs() < 1e-9, "epoch MSE {a} vs {b}");
-    }
-    for (a, b) in dense.1.iter().zip(&fused.1) {
-        assert!((a - b).abs() < 1e-9, "final param {a} vs {b}");
+    for backend in [BackendKind::Fused, BackendKind::Soa] {
+        let other = train_with(make, backend, Threads::Off);
+        for (a, b) in dense.0.iter().zip(&other.0) {
+            assert!((a - b).abs() < 1e-9, "{backend:?} epoch MSE {a} vs {b}");
+        }
+        for (a, b) in dense.1.iter().zip(&other.1) {
+            assert!((a - b).abs() < 1e-9, "{backend:?} final param {a} vs {b}");
+        }
     }
 }
 
@@ -106,9 +108,14 @@ fn evaluation_is_backend_consistent() {
         Trainer::evaluate_batched(&mut model, &data, 4).unwrap()
     };
     let dense = evaluate(BackendKind::Dense);
-    let fused = evaluate(BackendKind::Fused);
     assert!(dense.is_finite());
-    assert!((dense - fused).abs() < 1e-10, "{dense} vs {fused}");
+    for backend in [BackendKind::Fused, BackendKind::Soa] {
+        let other = evaluate(backend);
+        assert!(
+            (dense - other).abs() < 1e-10,
+            "{backend:?}: {dense} vs {other}"
+        );
+    }
 }
 
 #[test]
@@ -122,7 +129,7 @@ fn tape_reuse_matrix_is_deterministic() {
     let x = Matrix::from_fn(6, 3, |i, j| 0.21 * ((i % 3) as f64) - 0.13 * (j as f64));
     let g = Matrix::from_fn(6, 3, |i, j| 0.17 * ((i % 3) as f64) + 0.05 * (j as f64));
     // Rows 0..3 repeat as rows 3..6 (both in inputs and upstream grads).
-    for backend in [BackendKind::Dense, BackendKind::Fused] {
+    for backend in [BackendKind::Dense, BackendKind::Fused, BackendKind::Soa] {
         let run = |threads: Threads| {
             let mut rng = StdRng::seed_from_u64(17);
             let mut layer = QuantumLayer::new(

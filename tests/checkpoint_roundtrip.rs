@@ -1,5 +1,5 @@
 //! Checkpoint round-trip coverage across the whole model zoo: every
-//! `models::*` factory, under both simulator backends, must survive
+//! `models::*` factory, under every simulator backend, must survive
 //! save → load with bit-identical behavior; malformed files must fail with
 //! typed errors, never garbage weights.
 
@@ -42,9 +42,9 @@ fn checkpoint_bytes(model: &mut Autoencoder) -> Vec<u8> {
 }
 
 #[test]
-fn every_factory_round_trips_bit_identically_on_both_backends() {
+fn every_factory_round_trips_bit_identically_on_all_backends() {
     let x = probe();
-    for backend in [BackendKind::Dense, BackendKind::Fused] {
+    for backend in [BackendKind::Dense, BackendKind::Fused, BackendKind::Soa] {
         for (name, mut model) in zoo() {
             model.set_exec_policy(ExecPolicy::new(Threads::Off, backend));
             let want = model.reconstruct(&x).expect("direct reconstruct");
