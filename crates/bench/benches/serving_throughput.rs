@@ -1,0 +1,83 @@
+//! Serving throughput across worker-pool sizes: one mixed request burst
+//! (reconstruct + seeded sample) pushed through an `InferenceServer` with
+//! 1, 2, and 4 workers.
+//!
+//! `SQVAE_THREADS` is forced off so the pool is the only parallelism lever
+//! being measured — otherwise a restored model's own batch-row sharding
+//! would compete with the pool for the same cores and blur the scaling
+//! signal. On a multi-core box the 4-worker pool should clear ≥ 2.5× the
+//! 1-worker requests/sec; on a single-vCPU box the pool sizes tie (the
+//! numbers then mostly demonstrate that dispatch overhead is small).
+//! Results are bit-identical at every size, so this knob is pure
+//! wall-clock.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sqvae::core::models;
+use sqvae::nn::{Matrix, Threads};
+use sqvae::serve::{publish_model, InferenceServer, Op, Request, RetryPolicy, ServerConfig};
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+const BURST: usize = 48;
+
+fn checkpoint_path() -> String {
+    let dir = std::env::temp_dir().join("sqvae-serving-bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bench-model.ckpt").to_string_lossy().into_owned();
+    let mut model = models::sq_vae(16, 2, 1, &mut StdRng::seed_from_u64(7));
+    publish_model(&mut model, 7, &path).unwrap();
+    path
+}
+
+/// One measured unit: submit a paused mixed burst (so every queue holds its
+/// full shard), resume, and wait for every result.
+fn serve_burst(server: &InferenceServer, path: &str) -> usize {
+    server.pause();
+    let ids: Vec<u64> = (0..BURST as u64)
+        .map(|i| {
+            let op = if i % 2 == 0 {
+                Op::Sample {
+                    n: 1 + (i as usize % 3),
+                    seed: i,
+                }
+            } else {
+                Op::Reconstruct(Matrix::from_fn(2, 16, |r, c| {
+                    ((i as usize * 32 + r * 16 + c) as f64).sin()
+                }))
+            };
+            server.submit(Request::new(path.to_string(), op)).unwrap()
+        })
+        .collect();
+    server.resume();
+    ids.into_iter()
+        .map(|id| server.wait(id).unwrap().rows())
+        .sum()
+}
+
+fn bench_serving_throughput(c: &mut Criterion) {
+    // Pin the intra-model row sharding off: the pool is the only
+    // parallelism under test. (Restored models read SQVAE_THREADS when
+    // they rebuild their exec policy.)
+    std::env::set_var("SQVAE_THREADS", "off");
+    let path = checkpoint_path();
+    let mut group = c.benchmark_group("serving_throughput");
+    group.sample_size(10);
+    for workers in WORKER_COUNTS {
+        let server = InferenceServer::start(ServerConfig {
+            workers: Threads::Fixed(workers),
+            retry: RetryPolicy::none(),
+            ..ServerConfig::default()
+        });
+        // Warm every worker's registry outside the measured region.
+        serve_burst(&server, &path);
+        group.bench_function(format!("mixed/{workers}w"), |b| {
+            b.iter(|| serve_burst(&server, &path))
+        });
+        server.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving_throughput);
+criterion_main!(benches);

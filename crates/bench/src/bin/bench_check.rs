@@ -4,9 +4,14 @@
 //!
 //! ```text
 //! cargo bench -p sqvae-bench --bench scaling | tee bench.txt
-//! cargo run -p sqvae-bench --bin bench_check -- bench.txt
+//! cargo bench -p sqvae-bench --bench serving_throughput | tee serve.txt
+//! cargo run -p sqvae-bench --bin bench_check -- bench.txt serve.txt
 //! cargo run -p sqvae-bench --bin bench_check -- --write bench.txt   # refresh baseline
 //! ```
+//!
+//! Several transcript files may be passed at once (they are concatenated),
+//! and the tolerance can come from `--tolerance <x>` or the
+//! `SQVAE_BENCH_TOL` environment variable (flag wins).
 //!
 //! The shim prints one line per benchmark:
 //!
@@ -133,42 +138,57 @@ fn check(
     failures
 }
 
+/// Tolerance from the environment (`SQVAE_BENCH_TOL`), when set and
+/// parseable to a sane (≥ 1×) factor.
+fn tolerance_from_env() -> Option<f64> {
+    let raw = std::env::var("SQVAE_BENCH_TOL").ok()?;
+    match raw.trim().parse::<f64>() {
+        Ok(t) if t >= 1.0 => Some(t),
+        _ => {
+            eprintln!("warning: ignoring SQVAE_BENCH_TOL={raw:?} (want a factor >= 1)");
+            None
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut write = false;
-    let mut tolerance = DEFAULT_TOLERANCE;
-    let mut input: Option<String> = None;
+    let mut tolerance = tolerance_from_env().unwrap_or(DEFAULT_TOLERANCE);
+    let mut inputs: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--write" => write = true,
             "--tolerance" => {
-                tolerance = args
-                    .next()
-                    .and_then(|t| t.parse().ok())
-                    .unwrap_or(DEFAULT_TOLERANCE)
+                if let Some(t) = args.next().and_then(|t| t.parse().ok()) {
+                    tolerance = t;
+                }
             }
-            path => input = Some(path.to_string()),
+            path => inputs.push(path.to_string()),
         }
     }
 
-    let text = match &input {
-        Some(path) => match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("error: cannot read {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
-        None => {
-            let mut buf = String::new();
-            use std::io::Read;
-            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
-                eprintln!("error: cannot read stdin: {e}");
-                return ExitCode::FAILURE;
-            }
-            buf
+    let mut text = String::new();
+    if inputs.is_empty() {
+        use std::io::Read;
+        if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+            eprintln!("error: cannot read stdin: {e}");
+            return ExitCode::FAILURE;
         }
-    };
+    } else {
+        for path in &inputs {
+            match std::fs::read_to_string(path) {
+                Ok(t) => {
+                    text.push_str(&t);
+                    text.push('\n');
+                }
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
 
     let measured = parse_transcript(&text);
     if measured.is_empty() {
@@ -247,6 +267,20 @@ mod tests {
         assert!((parsed["b/6q"] - 5.6e6).abs() < 0.1);
         assert!(parse_baseline("not json").is_err());
         assert!(parse_baseline("{\"k\": nope}").is_err());
+    }
+
+    #[test]
+    fn tolerance_env_parses_and_rejects_nonsense() {
+        // Single-threaded with respect to this variable: no other test in
+        // this binary touches SQVAE_BENCH_TOL.
+        std::env::set_var("SQVAE_BENCH_TOL", "5.5");
+        assert_eq!(tolerance_from_env(), Some(5.5));
+        std::env::set_var("SQVAE_BENCH_TOL", "0.5"); // < 1x would gate on noise
+        assert_eq!(tolerance_from_env(), None);
+        std::env::set_var("SQVAE_BENCH_TOL", "loose");
+        assert_eq!(tolerance_from_env(), None);
+        std::env::remove_var("SQVAE_BENCH_TOL");
+        assert_eq!(tolerance_from_env(), None);
     }
 
     #[test]

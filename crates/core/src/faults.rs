@@ -23,6 +23,14 @@
 //! on thread interleaving at other points. Re-running with the same plan
 //! and the same per-point call sequence reproduces the same faults.
 //!
+//! Call sites that run inside an identified serving worker consult
+//! [`trigger_for`] with their worker index; each `(point, worker)` pair
+//! then owns an independent stream, so pool-size changes or cross-worker
+//! interleaving never shift another worker's fault schedule. A plan can
+//! also be pinned to a single worker ([`FaultPlan::with_worker`], spec key
+//! `worker=N`), which is how the chaos suite kills exactly one member of a
+//! pool while its siblings keep serving.
+//!
 //! ## Cost when disabled
 //!
 //! No plan installed (the default) means every [`trigger`] call is a single
@@ -40,6 +48,7 @@
 
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, PoisonError};
 
@@ -100,6 +109,11 @@ pub struct FaultPlan {
     pub seed: u64,
     /// Firing probability per point, in [`ALL_FAULT_POINTS`] index order.
     pub rates: [f64; N_FAULT_POINTS],
+    /// When set, worker-indexed consultations ([`trigger_for`] with
+    /// `Some(w)`) only fire for this worker index; worker-agnostic call
+    /// sites ([`trigger`]) are unaffected. `None` (the default) fires for
+    /// every worker.
+    pub worker_filter: Option<usize>,
 }
 
 impl Default for FaultPlan {
@@ -108,6 +122,7 @@ impl Default for FaultPlan {
         FaultPlan {
             seed: 0,
             rates: [0.0; N_FAULT_POINTS],
+            worker_filter: None,
         }
     }
 }
@@ -151,9 +166,18 @@ impl FaultPlan {
         self.rates[point.index()]
     }
 
+    /// Returns the plan restricted to serving worker `worker`: only
+    /// [`trigger_for`] consultations carrying that index fire.
+    /// Worker-agnostic [`trigger`] call sites keep firing normally.
+    pub fn with_worker(mut self, worker: usize) -> Self {
+        self.worker_filter = Some(worker);
+        self
+    }
+
     /// Parses a `SQVAE_FAULTS`-style spec: comma-separated `key=value`
-    /// pairs (`seed` plus any [`FaultPoint::key`]), or the literal `on` /
-    /// `1` for [`FaultPlan::chaos`] with seed 42.
+    /// pairs (`seed`, `worker` for [`FaultPlan::with_worker`], plus any
+    /// [`FaultPoint::key`]), or the literal `on` / `1` for
+    /// [`FaultPlan::chaos`] with seed 42.
     ///
     /// # Errors
     ///
@@ -175,13 +199,21 @@ impl FaultPlan {
                     .map_err(|_| format!("fault seed `{value}` is not a u64"))?;
                 continue;
             }
+            if key == "worker" {
+                plan.worker_filter = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("fault worker `{value}` is not an index"))?,
+                );
+                continue;
+            }
             let point = ALL_FAULT_POINTS
                 .iter()
                 .copied()
                 .find(|p| p.key() == key)
                 .ok_or_else(|| {
                     format!(
-                        "unknown fault point `{key}` (accepted: seed, worker_panic, \
+                        "unknown fault point `{key}` (accepted: seed, worker, worker_panic, \
                          queue_saturation, checkpoint_flip, checkpoint_truncate, nan_loss)"
                     )
                 })?;
@@ -239,33 +271,59 @@ impl FaultStats {
 
 struct Injector {
     plan: FaultPlan,
-    rngs: [StdRng; N_FAULT_POINTS],
+    /// One lazily-created stream per `(point, worker)` pair; `None` is the
+    /// worker-agnostic stream every pre-pool call site keeps using (its
+    /// seed derivation is unchanged, so existing plans reproduce the same
+    /// schedules).
+    rngs: HashMap<(usize, Option<usize>), StdRng>,
     stats: FaultStats,
+}
+
+/// Seed of the `(point, worker)` stream. Worker-agnostic streams keep the
+/// historical `plan.seed ^ point-tag` derivation; worker-indexed streams
+/// mix the index in with a golden-ratio multiply so adjacent workers land
+/// far apart.
+fn stream_seed(plan_seed: u64, point: usize, worker: Option<usize>) -> u64 {
+    let base = plan_seed ^ (0x5157_4145_u64 << 8 | point as u64);
+    match worker {
+        None => base,
+        Some(w) => base ^ (w as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    }
 }
 
 impl Injector {
     fn new(plan: FaultPlan) -> Self {
-        // Each point gets an independent stream: interleavings at one point
-        // cannot shift the draws of another.
-        let mk = |i: usize| StdRng::seed_from_u64(plan.seed ^ (0x5157_4145_u64 << 8 | i as u64));
         Injector {
             plan,
-            rngs: [mk(0), mk(1), mk(2), mk(3), mk(4)],
+            rngs: HashMap::new(),
             stats: FaultStats::default(),
         }
     }
 
-    fn trigger(&mut self, point: FaultPoint) -> Option<u64> {
+    fn trigger(&mut self, point: FaultPoint, worker: Option<usize>) -> Option<u64> {
         let i = point.index();
         self.stats.checked[i] += 1;
+        // A worker filter silences other workers *before* any draw, so the
+        // filtered plan leaves every stream exactly where the unfiltered
+        // plan would for the targeted worker.
+        if let (Some(filter), Some(w)) = (self.plan.worker_filter, worker) {
+            if filter != w {
+                return None;
+            }
+        }
         let rate = self.plan.rates[i];
         if rate <= 0.0 {
             return None;
         }
+        let seed = stream_seed(self.plan.seed, i, worker);
+        let rng = self
+            .rngs
+            .entry((i, worker))
+            .or_insert_with(|| StdRng::seed_from_u64(seed));
         // Two draws per consultation (decision + payload) keeps the stream
         // position independent of whether the fault fired.
-        let decision = (self.rngs[i].next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
-        let payload = self.rngs[i].next_u64();
+        let decision = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let payload = rng.next_u64();
         if decision < rate {
             self.stats.fired[i] += 1;
             Some(payload)
@@ -317,10 +375,22 @@ pub fn active() -> bool {
 /// randomness for shaping it (e.g. which byte of a checkpoint to flip).
 #[inline]
 pub fn trigger(point: FaultPoint) -> Option<u64> {
+    trigger_for(point, None)
+}
+
+/// Worker-indexed [`trigger`]: serving workers pass their pool index so
+/// each `(point, worker)` pair draws from its own stream (pool size and
+/// cross-worker interleaving cannot shift another worker's schedule) and
+/// so [`FaultPlan::with_worker`] can target a single pool member. `None`
+/// consults the worker-agnostic stream [`trigger`] uses.
+#[inline]
+pub fn trigger_for(point: FaultPoint, worker: Option<usize>) -> Option<u64> {
     if !ACTIVE.load(Ordering::Acquire) {
         return None;
     }
-    injector().as_mut().and_then(|inj| inj.trigger(point))
+    injector()
+        .as_mut()
+        .and_then(|inj| inj.trigger(point, worker))
 }
 
 /// Counters of the installed plan (`None` when inactive).
@@ -435,16 +505,82 @@ mod tests {
         assert_eq!(FaultPlan::parse("on").unwrap(), FaultPlan::chaos(42));
         assert_eq!(FaultPlan::parse("1").unwrap(), FaultPlan::chaos(42));
 
+        let pinned = FaultPlan::parse("worker_panic=1.0, worker=2").unwrap();
+        assert_eq!(pinned.worker_filter, Some(2));
+        assert_eq!(FaultPlan::parse("").unwrap().worker_filter, None);
+
         assert!(FaultPlan::parse("worker_panic").is_err());
         assert!(FaultPlan::parse("warp_core_breach=0.5").is_err());
         assert!(FaultPlan::parse("worker_panic=1.5").is_err());
         assert!(FaultPlan::parse("seed=banana").is_err());
         assert!(FaultPlan::parse("worker_panic=x").is_err());
+        assert!(FaultPlan::parse("worker=minus-one").is_err());
     }
 
     #[test]
     #[should_panic(expected = "outside [0, 1]")]
     fn with_rate_rejects_out_of_range() {
         let _ = FaultPlan::default().with_rate(FaultPoint::NanLoss, 2.0);
+    }
+
+    #[test]
+    fn worker_streams_are_independent_of_each_other() {
+        let _gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+        // Interleave worker 1's consultations between worker 0's; worker
+        // 0's outcomes must not move, and neither worker may shadow the
+        // worker-agnostic stream.
+        let run = |interleave: bool| -> Vec<Option<u64>> {
+            let _scope =
+                FaultScope::install(FaultPlan::quiet(5).with_rate(FaultPoint::WorkerPanic, 0.5));
+            (0..32)
+                .map(|_| {
+                    if interleave {
+                        let _ = trigger_for(FaultPoint::WorkerPanic, Some(1));
+                        let _ = trigger(FaultPoint::WorkerPanic);
+                    }
+                    trigger_for(FaultPoint::WorkerPanic, Some(0))
+                })
+                .collect()
+        };
+        let a = run(false);
+        assert_eq!(a, run(true));
+        assert!(a.iter().any(|t| t.is_some()));
+        assert!(a.iter().any(|t| t.is_none()));
+    }
+
+    #[test]
+    fn worker_filter_silences_every_other_worker() {
+        let _gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+        let _scope = FaultScope::install(
+            FaultPlan::quiet(8)
+                .with_rate(FaultPoint::WorkerPanic, 1.0)
+                .with_worker(2),
+        );
+        for _ in 0..16 {
+            assert!(trigger_for(FaultPoint::WorkerPanic, Some(2)).is_some());
+            assert_eq!(trigger_for(FaultPoint::WorkerPanic, Some(0)), None);
+            assert_eq!(trigger_for(FaultPoint::WorkerPanic, Some(3)), None);
+            // Worker-agnostic call sites are not filtered.
+            assert!(trigger(FaultPoint::WorkerPanic).is_some());
+        }
+        let s = stats().unwrap();
+        assert_eq!(s.fired_at(FaultPoint::WorkerPanic), 32);
+        assert_eq!(s.checked_at(FaultPoint::WorkerPanic), 64);
+    }
+
+    #[test]
+    fn a_filtered_plan_keeps_the_target_workers_schedule() {
+        let _gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+        // The schedule worker 1 sees must be byte-identical whether or not
+        // the plan filters the other workers out.
+        let run = |filtered: bool| -> Vec<Option<u64>> {
+            let plan = FaultPlan::quiet(13).with_rate(FaultPoint::WorkerPanic, 0.5);
+            let plan = if filtered { plan.with_worker(1) } else { plan };
+            let _scope = FaultScope::install(plan);
+            (0..32)
+                .map(|_| trigger_for(FaultPoint::WorkerPanic, Some(1)))
+                .collect()
+        };
+        assert_eq!(run(false), run(true));
     }
 }

@@ -1,0 +1,159 @@
+//! Request routing for the worker pool: sharded dispatch with least-loaded
+//! spillover.
+//!
+//! The dispatcher's job is to pick which pool worker serves a request. Two
+//! forces pull in opposite directions:
+//!
+//! * **Coalescing.** The per-worker [`crate::serve::BatchEngine`] merges
+//!   queued requests sharing a (model, op kind, width) key into one batched
+//!   forward pass. Scattering same-key requests across workers splits those
+//!   batches, so the dispatcher *shards*: every request hashes its
+//!   coalescing key to a home worker, and same-key traffic lands together.
+//! * **Utilization.** Hard sharding alone leaves workers idle whenever the
+//!   traffic mix has fewer hot keys than the pool has workers. So when a
+//!   request's home shard is already deep — at least
+//!   [`crate::serve::ServerConfig::spill_depth`] requests queued — the
+//!   dispatcher *spills* it to the least-loaded worker instead (ties break
+//!   to the lowest index). A deep home queue already guarantees a full
+//!   coalesced batch there; the marginal request gains more from an idle
+//!   worker than from growing a batch past the row budget.
+//!
+//! Routing never affects result bytes — every request's output depends only
+//! on its own payload (per-request sample seeds included) — so the shard
+//! map is pure placement policy: it decides wall-clock, not answers.
+
+use super::Op;
+
+/// FNV-1a over the request's coalescing key. Deterministic across runs and
+/// platforms (unlike `RandomState` hashing), so a request set always maps
+/// to the same shards — which the determinism and chaos tests rely on.
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The home shard for a request on `model` with operation `op` in a pool of
+/// `n_workers`: a deterministic hash of the coalescing key (model path, op
+/// kind, payload width), so same-key requests — exactly the ones the engine
+/// can merge into one batch — share a worker.
+///
+/// Exposed so tests (and operators reasoning about placement) can predict
+/// where traffic lands; the live dispatcher may still divert a request to
+/// the least-loaded worker when this shard's queue is deep.
+///
+/// # Panics
+///
+/// Panics when `n_workers == 0`.
+pub fn shard_index(model: &str, op: &Op, n_workers: usize) -> usize {
+    assert!(n_workers > 0, "a pool has at least one worker");
+    let (kind, width) = op.kind_and_width();
+    let key = model.bytes().chain([kind]).chain(width.to_le_bytes());
+    (fnv1a(key) % n_workers as u64) as usize
+}
+
+/// Picks the worker for a request given the current queue depths: the home
+/// shard while its queue is shallower than `spill_depth`, otherwise the
+/// least-loaded worker (lowest index on ties; the home shard wins ties it
+/// participates in, preserving coalescing when spilling buys nothing).
+pub(super) fn route(model: &str, op: &Op, depths: &[usize], spill_depth: usize) -> usize {
+    let shard = shard_index(model, op, depths.len());
+    if depths.len() == 1 || depths[shard] < spill_depth.max(1) {
+        return shard;
+    }
+    let min = *depths.iter().min().expect("non-empty pool");
+    if depths[shard] == min {
+        return shard;
+    }
+    depths
+        .iter()
+        .position(|&d| d == min)
+        .expect("min exists in depths")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqvae_nn::Matrix;
+
+    fn sample_op(seed: u64) -> Op {
+        Op::Sample { n: 2, seed }
+    }
+
+    #[test]
+    fn sharding_is_deterministic_and_seed_independent() {
+        let a = shard_index("m.ckpt", &sample_op(1), 4);
+        let b = shard_index("m.ckpt", &sample_op(999), 4);
+        assert_eq!(a, b, "coalescable requests must share a shard");
+        assert_eq!(a, shard_index("m.ckpt", &sample_op(1), 4));
+        assert!(a < 4);
+    }
+
+    #[test]
+    fn distinct_keys_spread_over_a_large_pool() {
+        // 64 distinct models over 16 shards: FNV should touch many shards.
+        let hit: std::collections::HashSet<usize> = (0..64)
+            .map(|i| shard_index(&format!("model-{i}.ckpt"), &sample_op(0), 16))
+            .collect();
+        assert!(
+            hit.len() >= 8,
+            "hash clumped: only {} shards hit",
+            hit.len()
+        );
+    }
+
+    #[test]
+    fn op_kind_and_width_are_part_of_the_key() {
+        let m = Matrix::filled(1, 16, 0.0);
+        let ops = [
+            Op::Encode(m.clone()),
+            Op::Decode(m.clone()),
+            Op::Reconstruct(m.clone()),
+            Op::Reconstruct(Matrix::filled(1, 8, 0.0)),
+            sample_op(0),
+        ];
+        // Not all five may land apart in a small pool, but the hash must at
+        // least depend on the kind/width bytes.
+        let shards: Vec<usize> = ops.iter().map(|op| shard_index("m", op, 64)).collect();
+        let distinct: std::collections::HashSet<usize> = shards.iter().copied().collect();
+        assert!(distinct.len() > 1, "kind/width ignored by the shard key");
+    }
+
+    #[test]
+    fn shallow_home_queue_wins_over_idle_workers() {
+        let op = sample_op(0);
+        let home = shard_index("m", &op, 4);
+        let mut depths = [0usize; 4];
+        depths[(home + 1) % 4] = 0; // someone idle
+        depths[home] = 3; // below the spill threshold
+        assert_eq!(route("m", &op, &depths, 4), home);
+    }
+
+    #[test]
+    fn deep_home_queue_spills_to_the_least_loaded_worker() {
+        let op = sample_op(0);
+        let home = shard_index("m", &op, 4);
+        let mut depths = [7usize; 4];
+        depths[home] = 10;
+        let lightest = (home + 2) % 4;
+        depths[lightest] = 1;
+        assert_eq!(route("m", &op, &depths, 4), lightest);
+    }
+
+    #[test]
+    fn spilling_prefers_home_on_ties() {
+        let op = sample_op(0);
+        let home = shard_index("m", &op, 4);
+        // Everyone equally deep: spilling buys nothing, stay home and
+        // coalesce.
+        assert_eq!(route("m", &op, &[9, 9, 9, 9], 4), home);
+    }
+
+    #[test]
+    fn single_worker_pools_never_consult_depths() {
+        assert_eq!(route("m", &sample_op(0), &[1000], 1), 0);
+    }
+}

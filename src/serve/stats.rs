@@ -1,0 +1,55 @@
+//! Observability counters for the serving stack: per-engine work counters
+//! ([`EngineStats`], merged across worker generations and pool members via
+//! [`EngineStats::absorb`]) and the pool-level liveness snapshot
+//! ([`ServerHealth`]).
+
+/// Counters describing what an engine did, for observability and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Requests completed (successfully or with an error).
+    pub requests: usize,
+    /// Model forward passes executed. `requests > batches` means
+    /// coalescing merged work.
+    pub batches: usize,
+    /// Total rows pushed through model forward passes.
+    pub rows: usize,
+    /// Largest number of requests merged into one batch.
+    pub largest_batch_requests: usize,
+    /// Model loads that had to fall back to a checkpoint's `.bak`
+    /// generation because the primary file was corrupt or missing.
+    pub checkpoint_recoveries: usize,
+}
+
+impl EngineStats {
+    /// Folds another generation's counters into this one. The server uses
+    /// this to report totals across worker respawns and across every pool
+    /// member; counts add, the largest-batch high-water mark takes the max.
+    pub fn absorb(&mut self, other: EngineStats) {
+        self.requests += other.requests;
+        self.batches += other.batches;
+        self.rows += other.rows;
+        self.largest_batch_requests = self
+            .largest_batch_requests
+            .max(other.largest_batch_requests);
+        self.checkpoint_recoveries += other.checkpoint_recoveries;
+    }
+}
+
+/// A snapshot of the server's liveness counters (see
+/// [`crate::serve::InferenceServer::health`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerHealth {
+    /// Every worker thread in the pool is currently running.
+    pub worker_alive: bool,
+    /// Number of worker threads the pool was started with.
+    pub workers: usize,
+    /// Times the supervisor respawned a crashed worker (summed across the
+    /// pool — each member is supervised independently).
+    pub respawns: u64,
+    /// Requests that resolved with
+    /// [`crate::serve::ServeError::DeadlineExceeded`].
+    pub deadline_shed: u64,
+    /// Accepted requests not yet processed, summed over every worker's
+    /// queue.
+    pub pending: usize,
+}

@@ -19,9 +19,9 @@ use rand::SeedableRng;
 use sqvae::core::{models, Autoencoder, NanGuard, TrainConfig, Trainer};
 use sqvae::datasets::qm9::{generate as gen_qm9, Qm9Config};
 use sqvae::faults::{self, FaultPlan, FaultPoint, FaultScope};
-use sqvae::nn::Matrix;
+use sqvae::nn::{Matrix, Threads};
 use sqvae::serve::{
-    publish_model, InferenceServer, Op, Request, RetryPolicy, ServeError, ServerConfig,
+    publish_model, shard_index, InferenceServer, Op, Request, RetryPolicy, ServeError, ServerConfig,
 };
 use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
@@ -196,6 +196,114 @@ fn chaos_storm_loses_no_request_and_survivors_are_bit_identical() {
     // The storm's successes all flowed through some worker generation.
     assert!(engine_stats.requests >= successes);
     assert!(successes > 0, "chaos drowned every request");
+}
+
+#[test]
+fn one_dead_worker_in_a_pool_of_four_takes_only_its_own_requests_down() {
+    let _gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+
+    // One checkpoint per shard of a 4-worker pool: probe candidate names
+    // until every home shard {0,1,2,3} is covered (the shard map hashes the
+    // model path, so coverage is a property of the names we pick). Sample
+    // ops all share one (kind, width) regardless of seed, so each model's
+    // requests are pinned to its shard.
+    let probe_op = Op::Sample { n: 1, seed: 0 };
+    let mut path_for_shard: [Option<(String, Autoencoder)>; 4] = [None, None, None, None];
+    let mut candidate = 0u64;
+    while path_for_shard.iter().any(Option::is_none) {
+        let name = format!("pool-shard-{candidate}.ckpt");
+        let shard = shard_index(&temp_path(&name), &probe_op, 4);
+        if path_for_shard[shard].is_none() {
+            path_for_shard[shard] = Some(published_model(&name, 70 + candidate));
+        }
+        candidate += 1;
+    }
+    let mut shard_models: Vec<(String, Autoencoder)> =
+        path_for_shard.into_iter().map(Option::unwrap).collect();
+
+    let server = InferenceServer::start(ServerConfig {
+        workers: Threads::Fixed(4),
+        retry: RetryPolicy::none(),
+        // Pin requests to their home shards: spillover must not reroute
+        // the doomed worker's traffic before the panic lands.
+        spill_depth: usize::MAX,
+        ..ServerConfig::default()
+    });
+
+    // Queue a burst while paused — three seeded samples per shard — then
+    // arm a plan that kills ONLY worker 0 and let the pool steal.
+    server.pause();
+    let ids: Vec<(usize, u64, Vec<u64>)> = (0..4usize)
+        .flat_map(|shard| {
+            let (path, model) = &mut shard_models[shard];
+            let path = path.clone();
+            (0..3u64)
+                .map(|j| {
+                    let seed = shard as u64 * 10 + j;
+                    let want = bits(&model.sample(2, &mut StdRng::seed_from_u64(seed)).unwrap());
+                    let id = server
+                        .submit(Request::new(path.clone(), Op::Sample { n: 2, seed }))
+                        .unwrap();
+                    (shard, id, want)
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let seed = FaultPlan::from_env().map(|p| p.seed).unwrap_or(13);
+    let scope = FaultScope::install(
+        FaultPlan::quiet(seed)
+            .with_rate(FaultPoint::WorkerPanic, 1.0)
+            .with_worker(0),
+    );
+    let results: Vec<(usize, Result<Matrix, ServeError>, Vec<u64>)> = std::thread::scope(|s| {
+        let server = &server;
+        let handles: Vec<_> = ids
+            .into_iter()
+            .map(|(shard, id, want)| (shard, s.spawn(move || server.wait(id)), want))
+            .collect();
+        server.resume();
+        handles
+            .into_iter()
+            .map(|(shard, h, want)| (shard, h.join().unwrap(), want))
+            .collect()
+    });
+
+    // Blast radius is exactly worker 0: its requests fail typed, every
+    // other shard's requests succeed with fault-free bytes.
+    for (shard, result, want) in results {
+        if shard == 0 {
+            assert_eq!(
+                result.unwrap_err(),
+                ServeError::WorkerGone,
+                "worker 0's requests must fail typed"
+            );
+        } else {
+            assert_eq!(
+                bits(&result.unwrap_or_else(|e| panic!("shard {shard} infected: {e}"))),
+                want,
+                "a surviving worker's bytes diverged"
+            );
+        }
+    }
+
+    // Disarm and touch worker 0's shard again: the respawned member serves
+    // bit-identically.
+    drop(scope);
+    let (path0, model0) = &mut shard_models[0];
+    let healed = server
+        .request(Request::new(path0.clone(), Op::Sample { n: 2, seed: 999 }))
+        .unwrap();
+    let want = model0.sample(2, &mut StdRng::seed_from_u64(999)).unwrap();
+    assert_eq!(bits(&healed), bits(&want));
+
+    // Exactly one respawn: worker 0 died once, nobody else ever did (the
+    // worker filter silenced their streams), and the respawned generation
+    // never re-panicked (it woke to an empty queue).
+    let health = server.health();
+    assert!(health.worker_alive, "pool not fully healed");
+    assert_eq!(health.workers, 4);
+    assert_eq!(health.respawns, 1, "expected exactly one respawn");
+    server.shutdown();
 }
 
 #[test]

@@ -1,0 +1,165 @@
+//! Pool determinism matrix: the multi-worker server must return bytes
+//! bit-identical to direct model calls — and therefore to itself — for
+//! every pool size and every routing policy.
+//!
+//! This is the contract that makes `SQVAE_WORKERS` a pure deployment knob:
+//! results depend only on each request's payload (sample requests carry
+//! their own seeds), never on batch composition, worker placement, or
+//! spillover decisions, so operators can resize the pool without
+//! revalidating outputs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sqvae::core::{models, Autoencoder};
+use sqvae::nn::{Matrix, Threads};
+use sqvae::serve::{publish_model, shard_index, InferenceServer, Op, Request, ServerConfig};
+
+fn temp_path(name: &str) -> String {
+    let dir = std::env::temp_dir().join("sqvae-serve-pool-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+fn published_model(name: &str, seed: u64) -> (String, Autoencoder) {
+    let mut model = models::sq_vae(16, 2, 1, &mut StdRng::seed_from_u64(seed));
+    let path = temp_path(name);
+    publish_model(&mut model, seed, &path).unwrap();
+    (path, model)
+}
+
+fn bits(m: &Matrix) -> Vec<u64> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// A mixed schedule over `models`: encode, reconstruct, decode, and seeded
+/// sample requests, interleaved across models so a multi-worker pool
+/// actually exercises several shards at once.
+fn schedule(models: &mut [(String, Autoencoder)]) -> Vec<Request> {
+    let mut reqs = Vec::new();
+    for (i, (path, model)) in models.iter_mut().enumerate() {
+        let x = Matrix::from_fn(2, 16, |r, c| ((i * 32 + r * 16 + c) as f64).sin());
+        let z = Matrix::from_fn(3, model.latent_dim(), |r, c| {
+            (i + r + c) as f64 * 0.17 - 0.3
+        });
+        reqs.push(Request::new(path.clone(), Op::Encode(x.clone())));
+        reqs.push(Request::new(path.clone(), Op::Reconstruct(x)));
+        reqs.push(Request::new(path.clone(), Op::Decode(z)));
+        for j in 0..3u64 {
+            reqs.push(Request::new(
+                path.clone(),
+                Op::Sample {
+                    n: 1 + j as usize,
+                    seed: i as u64 * 100 + j,
+                },
+            ));
+        }
+    }
+    reqs
+}
+
+/// Direct (serverless) reference bytes for the same schedule.
+fn reference(models: &mut [(String, Autoencoder)]) -> Vec<Vec<u64>> {
+    let reqs = schedule(models);
+    reqs.iter()
+        .map(|req| {
+            let model = &mut models
+                .iter_mut()
+                .find(|(p, _)| *p == req.model)
+                .expect("request targets a published model")
+                .1;
+            let out = match &req.op {
+                Op::Encode(x) => model.encode(x).unwrap(),
+                Op::Decode(z) => model.decode(z).unwrap(),
+                Op::Reconstruct(x) => model.reconstruct(x).unwrap(),
+                Op::Sample { n, seed } => {
+                    model.sample(*n, &mut StdRng::seed_from_u64(*seed)).unwrap()
+                }
+            };
+            bits(&out)
+        })
+        .collect()
+}
+
+/// Runs the schedule through a pool of `workers` and returns result bytes
+/// in schedule order. Submission happens while paused so every queue holds
+/// its full shard before any worker steals — the adversarial case for
+/// batch-composition effects.
+fn serve_schedule(
+    models: &mut [(String, Autoencoder)],
+    workers: usize,
+    spill_depth: usize,
+) -> Vec<Vec<u64>> {
+    let server = InferenceServer::start(ServerConfig {
+        workers: Threads::Fixed(workers),
+        spill_depth,
+        ..ServerConfig::default()
+    });
+    assert_eq!(server.workers(), workers);
+    assert_eq!(server.health().workers, workers);
+    server.pause();
+    let ids: Vec<u64> = schedule(models)
+        .into_iter()
+        .map(|r| server.submit(r).unwrap())
+        .collect();
+    server.resume();
+    let out: Vec<Vec<u64>> = ids
+        .into_iter()
+        .map(|id| bits(&server.wait(id).unwrap()))
+        .collect();
+    let health = server.health();
+    assert!(health.worker_alive);
+    assert_eq!(health.respawns, 0);
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, out.len());
+    out
+}
+
+#[test]
+fn results_are_bit_identical_across_pool_sizes_one_two_and_four() {
+    let mut published: Vec<(String, Autoencoder)> = (0..3)
+        .map(|i| published_model(&format!("matrix-{i}.ckpt"), 50 + i))
+        .collect();
+    let want = reference(&mut published);
+    for workers in [1usize, 2, 4] {
+        let got = serve_schedule(&mut published, workers, ServerConfig::default().spill_depth);
+        assert_eq!(
+            got, want,
+            "a {workers}-worker pool diverged from direct model calls"
+        );
+    }
+}
+
+#[test]
+fn aggressive_spillover_matches_hard_sharding_byte_for_byte() {
+    let mut published: Vec<(String, Autoencoder)> = (0..3)
+        .map(|i| published_model(&format!("spillover-{i}.ckpt"), 60 + i))
+        .collect();
+    let want = reference(&mut published);
+    // spill_depth 1: any queued request diverts newcomers to the
+    // least-loaded worker. spill_depth::MAX: requests never leave their
+    // home shard. Placement differs as much as it ever can; bytes may not.
+    assert_eq!(serve_schedule(&mut published, 4, 1), want);
+    assert_eq!(serve_schedule(&mut published, 4, usize::MAX), want);
+}
+
+#[test]
+fn the_shard_map_spreads_distinct_models_and_is_stable() {
+    // Placement itself (not just results) must be deterministic: the
+    // dispatcher hashes with a fixed FNV-1a, not RandomState.
+    let op = Op::Sample { n: 1, seed: 0 };
+    for i in 0..8 {
+        let path = format!("stable-{i}.ckpt");
+        assert_eq!(
+            shard_index(&path, &op, 4),
+            shard_index(&path, &op, 4),
+            "shard map is not stable"
+        );
+    }
+    let hit: std::collections::HashSet<usize> = (0..16)
+        .map(|i| shard_index(&format!("spread-{i}.ckpt"), &op, 4))
+        .collect();
+    assert!(
+        hit.len() >= 2,
+        "16 distinct models all hashed to one of 4 shards"
+    );
+}
